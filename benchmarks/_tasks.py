@@ -1,0 +1,57 @@
+"""Shared helper: harvest real state-justification tasks from ATPG runs.
+
+The GA ablations need realistic required states — not synthetic ones — so
+we run the deterministic excitation/propagation phase for each fault of a
+circuit and keep the frame-0 state requirement each solution produces,
+exactly the input the GA justifier receives inside GA-HITEC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.atpg.podem import Limits, PodemEngine
+from repro.circuit.netlist import Circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+from repro.simulation.compiled import compile_circuit
+
+
+@dataclass(frozen=True)
+class JustificationTask:
+    """One (fault, required frame-0 state) pair from a real ATPG run."""
+
+    fault: Fault
+    required: "tuple[tuple[str, int], ...]"
+
+    @property
+    def required_dict(self) -> Dict[str, int]:
+        return dict(self.required)
+
+
+def harvest_tasks(
+    circuit: Circuit,
+    max_tasks: int = 40,
+    max_frames: int = 6,
+    backtracks: int = 200,
+) -> List[JustificationTask]:
+    """Collect non-trivial justification tasks for a circuit."""
+    cc = compile_circuit(circuit)
+    tasks: List[JustificationTask] = []
+    seen = set()
+    for fault in collapse_faults(circuit):
+        if len(tasks) >= max_tasks:
+            break
+        engine = PodemEngine(cc, fault=fault, num_frames=max_frames)
+        sol = engine.run(Limits(max_backtracks=backtracks))
+        if sol is None or not sol.required_state:
+            continue
+        key = (fault, tuple(sorted(sol.required_state.items())))
+        if key in seen:
+            continue
+        seen.add(key)
+        tasks.append(
+            JustificationTask(fault, tuple(sorted(sol.required_state.items())))
+        )
+    return tasks

@@ -1,0 +1,48 @@
+"""Shared benchmark configuration.
+
+Budgets
+-------
+The paper's per-fault limits (1 s / 10 s / 100 s on a 1995 SPARCstation-20
+running compiled C++) are scaled down for a pure-Python simulator via
+``time_scale`` so the default benchmark run finishes in minutes.  Two
+environment switches widen the run:
+
+* ``REPRO_FULL=1`` — benchmark every Table II circuit instead of the quick
+  set (hours of runtime on the larger stand-ins).
+* ``REPRO_TIME_SCALE=<float>`` — override the per-fault budget scale.
+
+Every benchmark writes its rendered table to ``benchmarks/out/`` so the
+numbers that back EXPERIMENTS.md are regenerated on each run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Per-fault time budget as a fraction of the paper's limits.
+TIME_SCALE = float(os.environ.get("REPRO_TIME_SCALE", "0.01"))
+
+#: PODEM backtrack budget for pass 1 (grows per pass like the paper's x10).
+BACKTRACK_BASE = int(os.environ.get("REPRO_BACKTRACKS", "30"))
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Circuits benchmarked by default (small enough for pure Python).
+QUICK_TABLE2 = ["s27", "s298", "s344", "s386"]
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered table next to the benchmarks."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text, encoding="utf-8")

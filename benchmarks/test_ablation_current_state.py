@@ -1,0 +1,64 @@
+"""Section V ablation: starting GA justification from the current state.
+
+The paper: *"GA-HITEC is able to make use of the current good circuit
+state, i.e., the state reached after all previous sequences in the test
+set have been applied.  In contrast, HITEC always backtraces to a time
+frame in which all flip-flops are set to unknown values."*
+
+This benchmark runs GA-HITEC twice — once using the current good state
+(the paper's behaviour) and once forcing the GA to start from all-X —
+and compares detections and GA-justification successes in the GA passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import iscas89
+from repro.hybrid import HybridTestGenerator, gahitec_schedule
+
+from .conftest import BACKTRACK_BASE, TIME_SCALE, write_artifact
+
+
+@pytest.mark.parametrize("name", ["s298", "s344"])
+def test_current_state_ablation(benchmark, name):
+    circuit = iscas89(name)
+    schedule = gahitec_schedule(
+        x=4 * circuit.sequential_depth,
+        num_passes=2,
+        time_scale=TIME_SCALE,
+        backtrack_base=BACKTRACK_BASE,
+    )
+
+    def run_both():
+        with_state = HybridTestGenerator(
+            iscas89(name), seed=1, use_current_state=True
+        ).run(schedule)
+        without = HybridTestGenerator(
+            iscas89(name), seed=1, use_current_state=False
+        ).run(schedule)
+        return with_state, without
+
+    with_state, without = benchmark.pedantic(run_both, iterations=1, rounds=1)
+
+    ga_with = sum(p.ga_justified for p in with_state.passes)
+    ga_without = sum(p.ga_justified for p in without.passes)
+    lines = [
+        f"Current-state ablation — {name} (GA passes only):",
+        f"  from current state: {len(with_state.detected)} detected, "
+        f"{ga_with} GA justifications",
+        f"  from all-unknown  : {len(without.detected)} detected, "
+        f"{ga_without} GA justifications",
+    ]
+    # allow one or two faults of seed noise: the claim is about capability
+    verdict = (
+        "PASS" if len(with_state.detected) + 2 >= len(without.detected)
+        else "FAIL"
+    )
+    lines.append(
+        f"  [{verdict}] current-state start detects at least as many "
+        "(±2 noise; the paper's stated GA-HITEC advantage)"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact(f"ablation_current_state_{name}.txt", text)

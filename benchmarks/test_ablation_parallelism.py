@@ -1,0 +1,74 @@
+"""Section IV-A ablation: bitwise word parallelism in the simulator.
+
+The paper packs 32 candidate sequences into the bits of one machine word;
+Python integers make the width a free parameter.  This benchmark measures
+fault-simulation throughput (gate-pattern evaluations per second) as the
+word width grows, confirming the design choice the paper inherits from
+PROOFS: wider words amortise the per-gate interpretation cost across
+patterns.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.circuits import iscas89
+from repro.faults.collapse import collapse_faults
+from repro.simulation.fault_sim import FaultSimulator
+
+from .conftest import write_artifact
+
+WIDTHS = [1, 8, 32, 64, 256]
+
+_rows = {}
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_fault_sim_width(benchmark, width):
+    circuit = iscas89("s298")
+    faults = collapse_faults(circuit)
+    rng = random.Random(5)
+    vectors = [
+        [rng.getrandbits(1) for _ in circuit.inputs] for _ in range(64)
+    ]
+    sim = FaultSimulator(circuit, width=width)
+
+    def run():
+        return sim.run(vectors, faults, stop_on_all_detected=False)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=3)
+    _rows[width] = benchmark.stats.stats.mean
+
+    # detection results must be width-independent
+    baseline = FaultSimulator(circuit, width=1).run(
+        vectors[:8], faults[:20], stop_on_all_detected=False
+    )
+    wide = FaultSimulator(circuit, width=width).run(
+        vectors[:8], faults[:20], stop_on_all_detected=False
+    )
+    assert set(baseline.detected) == set(wide.detected)
+    if len(_rows) == len(WIDTHS):
+        _render()
+
+
+def _render():
+    base = _rows[1]
+    lines = ["Fault-simulation word-width ablation — s298 stand-in:"]
+    for width, seconds in sorted(_rows.items()):
+        speedup = base / seconds if seconds else float("inf")
+        lines.append(
+            f"  width {width:>4d}: {seconds * 1e3:8.1f} ms per pass "
+            f"({speedup:5.2f}x vs width 1)"
+        )
+    wide_speedup = base / _rows[max(_rows)]
+    verdict = "PASS" if wide_speedup > 2.0 else "FAIL"
+    lines.append(
+        f"  [{verdict}] wide words give substantial speedup "
+        "(the PROOFS design choice the paper builds on)"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("ablation_parallelism.txt", text)

@@ -1,0 +1,54 @@
+"""Vec-column study: static compaction of generated test sets.
+
+Table II/III's **Vec** column is a cost metric — tester time is test
+length.  This benchmark measures how much sequence-level static
+compaction shrinks each generator's output without losing a single
+detection, quantifying the redundancy each strategy leaves behind
+(sequences accepted early are often subsumed once the full set exists).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compaction import compact_test_set
+from repro.analysis.coverage import evaluate_test_set
+from repro.circuits import iscas89
+from repro.faults.collapse import collapse_faults
+from repro.hybrid import gahitec, gahitec_schedule
+
+from .conftest import BACKTRACK_BASE, TIME_SCALE, write_artifact
+
+
+@pytest.mark.parametrize("name", ["s27", "s298"])
+def test_compaction_preserves_coverage(benchmark, name):
+    circuit = iscas89(name)
+    x = max(4, 4 * circuit.sequential_depth)
+
+    def run():
+        result = gahitec(iscas89(name), seed=1).run(
+            gahitec_schedule(x=x, num_passes=2, time_scale=TIME_SCALE,
+                             backtrack_base=BACKTRACK_BASE)
+        )
+        compacted = compact_test_set(
+            iscas89(name), result.test_set, result.blocks
+        )
+        return result, compacted
+
+    result, compacted = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    faults = collapse_faults(iscas89(name))
+    before = evaluate_test_set(iscas89(name), result.test_set, faults)
+    after = evaluate_test_set(iscas89(name), compacted.vectors, faults)
+    assert len(after.detected) == len(before.detected), "coverage lost"
+
+    lines = [
+        f"Static compaction — {name} (GA-HITEC output):",
+        f"  vectors : {compacted.original_vectors} -> "
+        f"{compacted.compacted_vectors} ({compacted.reduction:.0%} removed)",
+        f"  blocks  : {len(result.blocks)} -> {len(compacted.kept_blocks)}",
+        f"  coverage: {len(before.detected)}/{len(faults)} preserved exactly",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact(f"compaction_{name}.txt", text)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Closing the loop: generate tests, then diagnose a failing device.
+
+The test set an ATPG produces is also a diagnostic instrument: simulate
+every fault's full response once (the fault dictionary), and when a
+manufactured device fails on the tester, the failing (cycle, output)
+positions point back at candidate defect locations.
+
+This example generates tests for s27 with GA-HITEC, builds the
+dictionary, "manufactures" a defective device by picking a hidden fault,
+replays the test program against it, and diagnoses the observed failures.
+
+Run:
+    python examples/fault_diagnosis.py
+"""
+
+import random
+
+from repro import gahitec, gahitec_schedule, s27
+from repro.analysis import FaultDictionary
+from repro.simulation import FaultSimulator
+
+
+def main() -> None:
+    circuit = s27()
+
+    print("Generating tests with GA-HITEC…")
+    result = gahitec(circuit, seed=1).run(
+        gahitec_schedule(x=12, time_scale=None, backtrack_base=100)
+    )
+    print(f"  {len(result.detected)}/{result.total_faults} faults, "
+          f"{len(result.test_set)} vectors\n")
+
+    dictionary = FaultDictionary(circuit, result.test_set)
+    resolution = dictionary.diagnostic_resolution()
+    print(f"Fault dictionary: {len(dictionary.detected_faults)} detectable "
+          f"faults, diagnostic resolution {resolution:.0%}\n")
+
+    rng = random.Random(2026)
+    hidden = rng.choice(dictionary.detected_faults)
+
+    # replay the tester: the failing positions are the hidden fault's
+    # response differences against the expected (good) responses
+    outcome = FaultSimulator(circuit).run(
+        result.test_set, [hidden], record_signatures=True
+    )
+    failures = sorted(outcome.signatures[hidden])
+    print(f"Device fails at {len(failures)} (cycle, output) positions "
+          f"(first few: {failures[:4]})\n")
+
+    print("Diagnosis (ranked candidates):")
+    for rank, cand in enumerate(dictionary.diagnose(failures), 1):
+        names = ", ".join(str(f) for f in cand.faults)
+        mark = "exact" if cand.exact else (
+            f"{cand.misses} unexplained / {cand.mispredicts} mispredicted"
+        )
+        print(f"  {rank}. [{mark}] {names}")
+
+    top = dictionary.diagnose(failures)[0]
+    assert hidden in top.faults, "diagnosis must find the hidden fault"
+    print(f"\nHidden fault was: {hidden} — found in the top candidate class.")
+
+
+if __name__ == "__main__":
+    main()

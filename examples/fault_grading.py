@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fault-grading functional test programs with the PROOFS-style simulator.
+
+Before running ATPG, engineers often grade an existing functional test
+(here: directed multiply operations) to see which faults it already
+covers.  This example grades a functional program against the 16-bit
+Booth multiplier, compares it with random vectors, and lists the fault
+sites the functional program misses.
+
+Run:
+    python examples/fault_grading.py
+"""
+
+import random
+from collections import Counter
+
+from repro import FaultSimulator, collapse_faults, mult16
+from repro.analysis import random_baseline
+
+
+def functional_program(circuit, operations):
+    """Encode (x, y) multiply operations as a PI vector sequence."""
+    index = {net: i for i, net in enumerate(circuit.inputs)}
+    vectors = []
+    for x, y in operations:
+        start = [0] * len(circuit.inputs)
+        start[index["start"]] = 1
+        for i in range(16):
+            start[index[f"multiplicand_{i}"]] = (x >> i) & 1
+            start[index[f"multiplier_{i}"]] = (y >> i) & 1
+        vectors.append(start)
+        idle = [0] * len(circuit.inputs)
+        vectors.extend([idle] * 17)  # let the multiply run to completion
+    return vectors
+
+
+def main() -> None:
+    circuit = mult16()
+    faults = collapse_faults(circuit)
+    print(f"Circuit: {circuit.name} {circuit.stats()}")
+    print(f"Fault list: {len(faults)} collapsed stuck-at faults\n")
+
+    operations = [
+        (0, 0), (1, 1), (0xFFFF, 0xFFFF),      # corner cases
+        (0x5555, 0xAAAA), (0x8000, 2),          # pattern + sign bit
+        (12345, 678), (40000, 3),               # ordinary magnitudes
+    ]
+    program = functional_program(circuit, operations)
+    sim = FaultSimulator(circuit)
+    graded = sim.run(program, faults)
+    print(f"Functional program: {len(program)} vectors, "
+          f"{len(graded.detected)}/{len(faults)} faults "
+          f"({100 * len(graded.detected) / len(faults):.1f}%)")
+
+    rnd = random_baseline(circuit, len(program), seed=9)
+    print(f"Random vectors    : {rnd.vectors} vectors, "
+          f"{len(rnd.detected)}/{len(faults)} faults "
+          f"({100 * rnd.coverage:.1f}%)\n")
+
+    missed = [f for f in faults if f not in graded.detected]
+    by_block = Counter(f.net.split("_")[0] for f in missed)
+    print("Fault sites the functional program misses, by register block:")
+    for block, count in by_block.most_common(8):
+        print(f"  {block:<10s} {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Five generations of test generation, one circuit, equal footing.
+
+Runs the whole historical lineage the paper's introduction traces —
+random, weighted random, GA-based simulation (GATEST/CRIS style), the
+deterministic HITEC baseline, and the hybrid GA-HITEC — on the same
+circuit with multi-seed sweeps, and prints a final comparison table.
+
+Run:
+    python examples/generator_shootout.py            # s298 stand-in
+    REPRO_CIRCUIT=s344 python examples/generator_shootout.py
+"""
+
+import os
+
+from repro.analysis.experiments import compare_sweeps, seed_sweep
+from repro.baselines import (
+    RandomAtpgParams,
+    RandomTestGenerator,
+    WeightedRandomTestGenerator,
+)
+from repro.circuits import iscas89
+from repro.ga.atpg import GAAtpgParams, GASimulationTestGenerator
+from repro.hybrid import gahitec, gahitec_schedule, hitec_baseline, hitec_schedule
+
+SEEDS = (0, 1, 2)
+BUDGET_S = 30.0  # per generator per seed
+
+
+def main() -> None:
+    name = os.environ.get("REPRO_CIRCUIT", "s298")
+    circuit = iscas89(name)
+    x = 4 * circuit.sequential_depth
+    print(f"Circuit: {name} {circuit.stats()}")
+    print(f"Budget: ~{BUDGET_S:.0f}s per generator per seed, "
+          f"{len(SEEDS)} seeds\n")
+
+    sweeps = [
+        seed_sweep(
+            "RANDOM",
+            lambda s: RandomTestGenerator(iscas89(name), seed=s).run(
+                RandomAtpgParams(), time_limit=BUDGET_S
+            ),
+            SEEDS,
+        ),
+        seed_sweep(
+            "WRANDOM",
+            lambda s: WeightedRandomTestGenerator(iscas89(name), seed=s).run(
+                RandomAtpgParams(), time_limit=BUDGET_S
+            ),
+            SEEDS,
+        ),
+        seed_sweep(
+            "GA-SIM",
+            lambda s: GASimulationTestGenerator(iscas89(name), seed=s).run(
+                GAAtpgParams(seq_len=x), time_limit=BUDGET_S
+            ),
+            SEEDS,
+        ),
+        seed_sweep(
+            "HITEC",
+            lambda s: hitec_baseline(iscas89(name), seed=s).run(
+                hitec_schedule(num_passes=2, time_scale=0.02,
+                               backtrack_base=30)
+            ),
+            SEEDS,
+        ),
+        seed_sweep(
+            "GA-HITEC",
+            lambda s: gahitec(iscas89(name), seed=s).run(
+                gahitec_schedule(x=x, num_passes=2, time_scale=0.02,
+                                 backtrack_base=30)
+            ),
+            SEEDS,
+        ),
+    ]
+
+    print(compare_sweeps(sweeps))
+    print("\nNote: only the deterministic engines (HITEC, GA-HITEC) can")
+    print("prove faults untestable; the simulation-based generators stop")
+    print("at whatever their searches happen to reach.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""A miniature Table II: GA-HITEC versus HITEC, side by side.
+
+Runs both generators with the paper's pass structure (scaled-down budgets)
+on a quick circuit set and renders the comparison in the layout of the
+paper's results tables, followed by the qualitative shape checks from
+Section V.
+
+Run:
+    python examples/paper_comparison.py              # quick circuits
+    REPRO_CIRCUITS=s27,s298 python examples/paper_comparison.py
+"""
+
+import os
+
+from repro import gahitec, gahitec_schedule, hitec_baseline, hitec_schedule
+from repro.analysis import TableEntry, render_table, shape_checks
+from repro.circuits import ISCAS89_SPECS, iscas89
+
+
+def run_circuit(name: str) -> TableEntry:
+    spec = ISCAS89_SPECS[name]
+    x = max(4, int(spec.paper_seq_scale[0] * spec.seq_depth))
+
+    left = gahitec(iscas89(name), seed=1).run(
+        gahitec_schedule(x=x, num_passes=3, time_scale=0.05,
+                         backtrack_base=50)
+    )
+    right = hitec_baseline(iscas89(name), seed=1).run(
+        hitec_schedule(num_passes=3, time_scale=0.05, backtrack_base=50)
+    )
+    return TableEntry(
+        circuit=name,
+        seq_depth=spec.seq_depth,
+        total_faults=left.total_faults,
+        left=left,
+        right=right,
+    )
+
+
+def main() -> None:
+    names = os.environ.get("REPRO_CIRCUITS", "s27,s298").split(",")
+    entries = [run_circuit(name.strip()) for name in names]
+
+    print(render_table(entries))
+    print()
+    for line in shape_checks(entries):
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Coverage accounting, compaction, test programs, and result tables."""
+
+from .coverage import (
+    CoverageReport,
+    atpg_efficiency,
+    evaluate_test_set,
+    random_baseline,
+    random_vectors,
+)
+from .compaction import CompactionResult, compact_test_set, split_blocks
+from .diagnosis import Candidate, FaultDictionary
+from .experiments import SeedSweep, Stat, compare_sweeps, seed_sweep
+from .tables import TableEntry, render_table, shape_checks
+from .testprogram import (
+    TestProgram,
+    build_test_program,
+    parse_test_program,
+    verify_test_program,
+)
+
+__all__ = [
+    "Candidate",
+    "CompactionResult",
+    "FaultDictionary",
+    "SeedSweep",
+    "Stat",
+    "CoverageReport",
+    "TableEntry",
+    "TestProgram",
+    "atpg_efficiency",
+    "build_test_program",
+    "compact_test_set",
+    "compare_sweeps",
+    "evaluate_test_set",
+    "parse_test_program",
+    "random_baseline",
+    "random_vectors",
+    "seed_sweep",
+    "render_table",
+    "shape_checks",
+    "split_blocks",
+    "verify_test_program",
+]

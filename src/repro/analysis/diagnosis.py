@@ -1,0 +1,138 @@
+"""Fault-dictionary diagnosis.
+
+Once a test program exists, the same fault simulation that graded it can
+*localise* a defect: simulate every fault against the test set, record the
+full set of (cycle, output) positions where each fault is observed — the
+**fault dictionary** — and rank candidate faults by how well their
+signatures explain the failures a tester actually observed.
+
+Scoring follows the classic match/mismatch counting used in cause-effect
+diagnosis: for candidate signature ``S`` and observed failures ``F``,
+
+* ``hits``        = \\|S ∩ F\\|   (failures the fault explains),
+* ``misses``      = \\|F − S\\|   (observed failures it cannot explain),
+* ``mispredicts`` = \\|S − F\\|   (failures it predicts that never happened),
+
+ranked by (fewest misses, fewest mispredicts, most hits).  Faults with
+identical signatures are *indistinguishable* by this test set and are
+reported together as an equivalence class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from ..faults.collapse import collapse_faults
+from ..faults.model import Fault
+from ..simulation.fault_sim import FaultSimulator
+
+#: One observation point: (cycle index, primary-output position).
+Observation = Tuple[int, int]
+
+
+@dataclass
+class Candidate:
+    """One ranked diagnosis candidate.
+
+    Attributes:
+        faults: the indistinguishable fault class sharing this signature.
+        hits / misses / mispredicts: match/mismatch counts against the
+            observed failures.
+    """
+
+    faults: List[Fault]
+    hits: int
+    misses: int
+    mispredicts: int
+
+    @property
+    def exact(self) -> bool:
+        """True when the signature explains the failures exactly."""
+        return self.misses == 0 and self.mispredicts == 0
+
+
+class FaultDictionary:
+    """Full-response fault dictionary for one circuit and test set.
+
+    Args:
+        circuit: circuit under test.
+        vectors: the test program's input vectors.
+        faults: fault universe (defaults to the collapsed list).
+        width: fault-simulation word width.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        vectors: Sequence[Sequence[int]],
+        faults: Optional[Sequence[Fault]] = None,
+        width: int = 64,
+    ):
+        self.circuit = circuit
+        self.vectors = [list(v) for v in vectors]
+        self.faults = (
+            list(faults) if faults is not None else collapse_faults(circuit)
+        )
+        outcome = FaultSimulator(circuit, width=width).run(
+            self.vectors, self.faults, record_signatures=True
+        )
+        self.signatures: Dict[Fault, FrozenSet[Observation]] = {
+            f: outcome.signatures.get(f, frozenset()) for f in self.faults
+        }
+        self._classes: Dict[FrozenSet[Observation], List[Fault]] = {}
+        for fault, sig in self.signatures.items():
+            self._classes.setdefault(sig, []).append(fault)
+
+    # ------------------------------------------------------------------
+    @property
+    def detected_faults(self) -> List[Fault]:
+        """Faults the test set observes at least once."""
+        return [f for f, sig in self.signatures.items() if sig]
+
+    def distinguishable_classes(self) -> List[List[Fault]]:
+        """Groups of faults with identical (non-empty) signatures."""
+        return [fs for sig, fs in self._classes.items() if sig]
+
+    def diagnostic_resolution(self) -> float:
+        """Distinct non-empty signatures per detected fault (0..1].
+
+        1.0 means every detected fault is uniquely identifiable.
+        """
+        detected = len(self.detected_faults)
+        if not detected:
+            return 0.0
+        return len(self.distinguishable_classes()) / detected
+
+    # ------------------------------------------------------------------
+    def diagnose(
+        self, failures: Sequence[Observation], top: int = 5
+    ) -> List[Candidate]:
+        """Rank fault classes against observed tester failures."""
+        observed = frozenset(failures)
+        candidates = []
+        for sig, fault_class in self._classes.items():
+            if not sig:
+                continue
+            hits = len(sig & observed)
+            if hits == 0:
+                continue
+            candidates.append(
+                Candidate(
+                    faults=sorted(fault_class),
+                    hits=hits,
+                    misses=len(observed - sig),
+                    mispredicts=len(sig - observed),
+                )
+            )
+        candidates.sort(key=lambda c: (c.misses, c.mispredicts, -c.hits))
+        return candidates[:top]
+
+    def diagnose_fault(self, fault: Fault, top: int = 5) -> List[Candidate]:
+        """Convenience: diagnose using a known fault's own signature.
+
+        A correct dictionary must rank the injected fault's class first
+        with an exact match — the property the tests verify.
+        """
+        return self.diagnose(sorted(self.signatures[fault]), top=top)

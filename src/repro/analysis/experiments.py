@@ -1,0 +1,113 @@
+"""Multi-seed experiment sweeps with summary statistics.
+
+GA-HITEC is stochastic: detections in the GA passes depend on the seed.
+Single-seed tables are how the paper reports (1995!), but a credible
+modern reproduction quotes mean ± spread across seeds.  This module runs
+a result factory over a seed list and summarises the per-pass Det/Vec/Unt
+columns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..hybrid.results import RunResult
+
+
+@dataclass(frozen=True)
+class Stat:
+    """Mean and sample standard deviation of one metric."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        if self.n <= 1:
+            return f"{self.mean:.1f}"
+        return f"{self.mean:.1f}±{self.std:.1f}"
+
+
+def _stat(values: Sequence[float]) -> Stat:
+    n = len(values)
+    mean = sum(values) / n if n else 0.0
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(var)
+    else:
+        std = 0.0
+    return Stat(mean=mean, std=std, n=n)
+
+
+@dataclass
+class SeedSweep:
+    """Results of one generator across several seeds.
+
+    Attributes:
+        label: generator name.
+        runs: one :class:`RunResult` per seed.
+    """
+
+    label: str
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def seeds(self) -> int:
+        return len(self.runs)
+
+    def final(self, metric: str) -> Stat:
+        """Statistic of a final-pass column: detected / vectors / untestable."""
+        return _stat([getattr(r.passes[-1], metric) for r in self.runs])
+
+    def per_pass(self, metric: str) -> List[Stat]:
+        """Statistic of a column after each pass."""
+        n_passes = min(len(r.passes) for r in self.runs)
+        return [
+            _stat([getattr(r.passes[i], metric) for r in self.runs])
+            for i in range(n_passes)
+        ]
+
+    def summary(self) -> str:
+        lines = [f"{self.label} over {self.seeds} seeds:"]
+        for i, (det, vec, unt) in enumerate(
+            zip(self.per_pass("detected"), self.per_pass("vectors"),
+                self.per_pass("untestable")),
+            start=1,
+        ):
+            lines.append(
+                f"  pass {i}: Det {str(det):>12s}  Vec {str(vec):>12s}  "
+                f"Unt {str(unt):>10s}"
+            )
+        return "\n".join(lines)
+
+
+def seed_sweep(
+    label: str,
+    factory: Callable[[int], RunResult],
+    seeds: Sequence[int] = (0, 1, 2),
+) -> SeedSweep:
+    """Run ``factory(seed)`` for every seed and collect the results."""
+    sweep = SeedSweep(label=label)
+    for seed in seeds:
+        sweep.runs.append(factory(seed))
+    return sweep
+
+
+def compare_sweeps(sweeps: Sequence[SeedSweep]) -> str:
+    """Side-by-side final-pass comparison of several generators."""
+    lines = [
+        f"{'generator':<12s} {'Det':>14s} {'Vec':>14s} {'Unt':>12s} "
+        f"{'coverage':>10s}"
+    ]
+    for sweep in sweeps:
+        total = sweep.runs[0].total_faults if sweep.runs else 0
+        det = sweep.final("detected")
+        cov = 100.0 * det.mean / total if total else 0.0
+        lines.append(
+            f"{sweep.label:<12s} {str(det):>14s} "
+            f"{str(sweep.final('vectors')):>14s} "
+            f"{str(sweep.final('untestable')):>12s} {cov:9.1f}%"
+        )
+    return "\n".join(lines)

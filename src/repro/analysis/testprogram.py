@@ -1,0 +1,132 @@
+"""Tester-ready test-program export.
+
+A test set is only useful to a downstream user once it carries *expected
+responses*: the vectors plus the fault-free output values a tester should
+strobe each cycle (with don't-strobe marks where the good machine is still
+unknown).  This module renders and parses that program in a simple,
+line-oriented text format:
+
+.. code-block:: text
+
+    # circuit: s27
+    # inputs: G0 G1 G2 G3
+    # outputs: G17
+    1011 | 0
+    0100 | x
+
+Vectors apply at the cycle boundary; the response column holds the
+pre-clock primary-output values of the same cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from ..simulation.compiled import compile_circuit
+from ..simulation.encoding import X, pack_const, unpack
+from ..simulation.logic_sim import FrameSimulator
+
+
+@dataclass
+class TestProgram:
+    """Vectors with fault-free expected responses.
+
+    Attributes:
+        circuit_name: name of the circuit the program targets.
+        inputs / outputs: port names, in vector bit order.
+        vectors: scalar PI values per cycle (0/1/X).
+        responses: scalar expected PO values per cycle (0/1/X; X = do not
+            strobe).
+    """
+
+    circuit_name: str
+    inputs: List[str]
+    outputs: List[str]
+    vectors: List[List[int]]
+    responses: List[List[int]]
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def render(self) -> str:
+        """Serialise to the text format."""
+        lines = [
+            f"# circuit: {self.circuit_name}",
+            f"# inputs: {' '.join(self.inputs)}",
+            f"# outputs: {' '.join(self.outputs)}",
+        ]
+        for vec, resp in zip(self.vectors, self.responses):
+            left = "".join(_char(v) for v in vec)
+            right = "".join(_char(v) for v in resp)
+            lines.append(f"{left} | {right}")
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+
+def _char(value: int) -> str:
+    return "x" if value == X else str(value)
+
+
+def _scalar(ch: str) -> int:
+    return X if ch in "xX" else int(ch)
+
+
+def build_test_program(
+    circuit: Circuit, vectors: Sequence[Sequence[int]]
+) -> TestProgram:
+    """Simulate the fault-free machine and attach expected responses."""
+    sim = FrameSimulator(compile_circuit(circuit), width=1)
+    responses: List[List[int]] = []
+    for vec in vectors:
+        po = sim.step([pack_const(v, 1) for v in vec])
+        responses.append([unpack(v, 1)[0] for v in po])
+    return TestProgram(
+        circuit_name=circuit.name,
+        inputs=list(circuit.inputs),
+        outputs=list(circuit.outputs),
+        vectors=[list(v) for v in vectors],
+        responses=responses,
+    )
+
+
+def parse_test_program(text: str) -> TestProgram:
+    """Parse the text format back into a :class:`TestProgram`."""
+    name = ""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    vectors: List[List[int]] = []
+    responses: List[List[int]] = []
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("circuit:"):
+                name = body.split(":", 1)[1].strip()
+            elif body.startswith("inputs:"):
+                inputs = body.split(":", 1)[1].split()
+            elif body.startswith("outputs:"):
+                outputs = body.split(":", 1)[1].split()
+            continue
+        if "|" not in line:
+            raise ValueError(f"line {line_no}: missing response separator")
+        left, right = (part.strip() for part in line.split("|", 1))
+        vectors.append([_scalar(ch) for ch in left])
+        responses.append([_scalar(ch) for ch in right])
+    return TestProgram(name, inputs, outputs, vectors, responses)
+
+
+def verify_test_program(circuit: Circuit, program: TestProgram) -> bool:
+    """Re-simulate and confirm every strobed response matches."""
+    fresh = build_test_program(circuit, program.vectors)
+    for got, expected in zip(fresh.responses, program.responses):
+        for g, e in zip(got, expected):
+            if e != X and g != e:
+                return False
+    return True

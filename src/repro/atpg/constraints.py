@@ -1,0 +1,114 @@
+"""Input constraints on generated test sequences (Section VI).
+
+The paper closes by arguing the hybrid's key practical advantage: *"Real
+circuits may impose constraints on the test generator which are difficult
+to satisfy with deterministic approaches … processing is restricted to the
+forward direction during state justification.  Thus, constraints are more
+easily imposed on the test sequences generated."*
+
+Two constraint kinds cover the common cases:
+
+* **fixed pins** — a primary input tied to a constant for every vector of
+  every test (test-mode enables, disabled resets, bus-grant lines);
+* **hold pins** — a primary input that may take either value, but must
+  keep that value for the whole duration of one test sequence (slow
+  configuration straps).
+
+The GA justifier enforces both *by construction* when decoding candidate
+sequences — the forward-only property the paper highlights.  The
+deterministic engines pre-assign fixed pins in every time frame; hold
+pins are linked by mirroring any decision on one frame's pin into every
+other frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence
+
+from ..circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class InputConstraints:
+    """Environment-imposed restrictions on primary-input sequences.
+
+    Attributes:
+        fixed: PI name -> constant value (0/1) applied to every vector.
+        hold: PI names whose value is free but must stay constant across
+            each generated sequence.
+    """
+
+    fixed: Mapping[str, int] = field(default_factory=dict)
+    hold: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fixed", dict(self.fixed))
+        object.__setattr__(self, "hold", frozenset(self.hold))
+        for name, value in self.fixed.items():
+            if value not in (0, 1):
+                raise ValueError(f"fixed pin {name} must be 0 or 1")
+        overlap = set(self.fixed) & set(self.hold)
+        if overlap:
+            raise ValueError(f"pins both fixed and held: {sorted(overlap)}")
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no constraint is imposed."""
+        return not self.fixed and not self.hold
+
+    def validate(self, circuit: Circuit) -> None:
+        """Raise if a constrained pin is not a primary input."""
+        pis = set(circuit.inputs)
+        for name in list(self.fixed) + list(self.hold):
+            if name not in pis:
+                raise ValueError(f"{name} is not a primary input of "
+                                 f"{circuit.name}")
+
+    # ------------------------------------------------------------------
+    def satisfied_by(self, circuit: Circuit,
+                     vectors: Sequence[Sequence[int]]) -> bool:
+        """Check a scalar vector sequence against the constraints."""
+        if not vectors:
+            return True
+        index = {net: i for i, net in enumerate(circuit.inputs)}
+        for name, value in self.fixed.items():
+            i = index[name]
+            if any(vec[i] not in (value, 2) for vec in vectors):
+                return False
+        for name in self.hold:
+            i = index[name]
+            seen = {vec[i] for vec in vectors if vec[i] != 2}
+            if len(seen) > 1:
+                return False
+        return True
+
+    def apply_to_vectors(
+        self, circuit: Circuit, vectors: List[List[int]],
+        hold_values: Mapping[str, int] = (),
+    ) -> List[List[int]]:
+        """Force the constraints onto a sequence (in place; returned).
+
+        Fixed pins are overwritten with their constants; hold pins take
+        ``hold_values`` (or the first definite value seen, or 0).
+        """
+        if not vectors:
+            return vectors
+        index = {net: i for i, net in enumerate(circuit.inputs)}
+        for name, value in self.fixed.items():
+            i = index[name]
+            for vec in vectors:
+                vec[i] = value
+        hold_values = dict(hold_values)
+        for name in self.hold:
+            i = index[name]
+            if name not in hold_values:
+                definite = [vec[i] for vec in vectors if vec[i] in (0, 1)]
+                hold_values[name] = definite[0] if definite else 0
+            for vec in vectors:
+                vec[i] = hold_values[name]
+        return vectors
+
+
+#: No constraints at all (the default everywhere).
+UNCONSTRAINED = InputConstraints()

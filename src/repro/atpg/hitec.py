@@ -1,0 +1,281 @@
+"""HITEC-style sequential test generation for a single target fault.
+
+The engine runs the paper's Fig. 1 flow: deterministically excite the fault
+in time frame 0 and propagate its effect to a primary output over a growing
+window of forward time frames (PODEM over the unrolled model), then hand
+the required frame-0 state to a pluggable *justifier* — the genetic
+justifier in the hybrid's first passes, the deterministic reverse-time
+justifier otherwise.  When justification fails, the engine backtracks into
+the propagation search and tries the next excitation/propagation solution,
+exactly the loop drawn in the paper's Figure 1.
+
+Untestability is reported only when the whole space was exhausted without
+any budget or window limit biting, so the claim is sound with respect to
+the configured frame bounds.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..simulation.compiled import CompiledCircuit, compile_circuit
+from ..simulation.encoding import X
+from ..simulation.fault_sim import FaultSimulator
+from .constraints import InputConstraints
+from .justify import JustifyResult, JustifyStatus
+from .podem import Limits, PodemEngine, SearchStatus, Solution
+from .scoap import Testability, compute_testability
+
+
+class TestGenStatus(enum.Enum):
+    """Per-fault outcome of sequential test generation."""
+
+    DETECTED = "detected"
+    UNTESTABLE = "untestable"
+    ABORTED = "aborted"
+
+
+#: A justifier maps a required good-circuit state to a result; the hybrid
+#: driver plugs in either the GA or the deterministic reverse-time search.
+Justifier = Callable[[Dict[str, int]], JustifyResult]
+
+
+@dataclass
+class FlowCounters:
+    """Phase counters for the Figure-1 flow trace.
+
+    Attributes:
+        excite_attempts: PODEM searches started (one per window size).
+        propagation_solutions: excitation/propagation solutions found.
+        justify_calls: justifier invocations (state was non-trivial).
+        justify_successes: justifications that produced a sequence.
+        propagation_backtracks: solutions abandoned because justification
+            failed (the Fig. 1 "backtrack to propagation phase" arrow).
+    """
+
+    excite_attempts: int = 0
+    propagation_solutions: int = 0
+    justify_calls: int = 0
+    justify_successes: int = 0
+    propagation_backtracks: int = 0
+    verification_rejects: int = 0
+
+
+@dataclass
+class TestGenResult:
+    """Outcome for one target fault.
+
+    Attributes:
+        status: detected / untestable / aborted.
+        sequence: full test sequence — justification prefix followed by the
+            excitation/propagation vectors (scalars, X allowed).
+        justification_frames: length of the justification prefix.
+        backtracks: PODEM backtracks spent.
+        counters: Figure-1 flow counters.
+    """
+
+    status: TestGenStatus
+    sequence: List[List[int]] = field(default_factory=list)
+    justification_frames: int = 0
+    backtracks: int = 0
+    counters: FlowCounters = field(default_factory=FlowCounters)
+
+
+class SequentialTestGenerator:
+    """Deterministic excitation/propagation with pluggable justification.
+
+    Args:
+        circuit: circuit or compiled form.
+        max_frames: largest forward propagation window to try.
+        max_solutions: propagation alternatives to offer the justifier.
+        testability: shared SCOAP measures (computed once if omitted).
+        constraints: environment-imposed input constraints applied to the
+            excitation/propagation vectors (see
+            :mod:`repro.atpg.constraints`).
+        verify: confirm every candidate by fault simulation before
+            reporting DETECTED (rejects the rare optimistic candidate
+            whose frame-0 faulty state differs from the good state the
+            justifier produced); unverified candidates count as
+            justification failures and the search continues.
+    """
+
+    def __init__(
+        self,
+        circuit: "Circuit | CompiledCircuit",
+        max_frames: int = 8,
+        max_solutions: int = 8,
+        testability: Optional[Testability] = None,
+        constraints: Optional[InputConstraints] = None,
+        verify: bool = True,
+    ):
+        self.cc = (
+            circuit
+            if isinstance(circuit, CompiledCircuit)
+            else compile_circuit(circuit)
+        )
+        self.max_frames = max(1, max_frames)
+        self.max_solutions = max(1, max_solutions)
+        self.meas = testability or compute_testability(self.cc)
+        self.constraints = constraints
+        self.verify = verify
+        self._verifier = FaultSimulator(self.cc, width=1)
+
+    def generate(
+        self,
+        fault: Fault,
+        justifier: Justifier,
+        limits: Limits,
+        start_good_state: Optional[List[int]] = None,
+        start_fault_state: Optional[List[int]] = None,
+    ) -> TestGenResult:
+        """Generate a test for ``fault``, or prove it untestable.
+
+        The propagation window grows one frame at a time; within each
+        window, successive PODEM solutions are handed to the justifier
+        until one of them yields a justifiable state.
+
+        Args:
+            fault: the target fault.
+            justifier: state-justification callback (GA or deterministic).
+            limits: search budget.
+            start_good_state / start_fault_state: the states the test will
+                actually be applied from (defaults: all-unknown) — used to
+                verify candidates when ``verify`` is on.
+        """
+        self._start_good = start_good_state
+        self._start_fault = start_fault_state
+        self._fault = fault
+        counters = FlowCounters()
+        any_limit = False
+        prior_solutions = False
+        justify_all_exhausted = True
+        total_backtracks = 0
+
+        frames = 1
+        while frames <= self.max_frames:
+            if limits.expired():
+                any_limit = True
+                break
+            engine = PodemEngine(
+                self.cc, fault=fault, num_frames=frames,
+                testability=self.meas, constraints=self.constraints,
+            )
+            counters.excite_attempts += 1
+            solutions_tried = 0
+            truncated = False
+            for sol in engine.solutions(limits):
+                counters.propagation_solutions += 1
+                solutions_tried += 1
+                result, jstatus = self._try_justify(sol, justifier, counters)
+                if (
+                    result is not None
+                    and self.verify
+                    and not self._confirm(result)
+                ):
+                    counters.verification_rejects += 1
+                    justify_all_exhausted = False
+                    result = None
+                    jstatus = JustifyStatus.BOUNDED
+                if result is not None:
+                    result.backtracks = total_backtracks + engine.backtracks
+                    result.counters = counters
+                    return result
+                if jstatus is not JustifyStatus.EXHAUSTED:
+                    justify_all_exhausted = False
+                if jstatus is JustifyStatus.LIMIT:
+                    any_limit = True
+                counters.propagation_backtracks += 1
+                if solutions_tried >= self.max_solutions:
+                    truncated = True
+                    break
+            total_backtracks += engine.backtracks
+            prior_solutions = prior_solutions or solutions_tried > 0
+            if truncated:
+                break
+            if engine.status is SearchStatus.LIMIT:
+                any_limit = True
+                break
+            if engine.status is SearchStatus.WINDOW:
+                frames += 1
+                continue
+            # Search space exhausted within this window with no window
+            # pressure: a larger window cannot create new behaviour.
+            provable = not any_limit and frames <= self.max_frames
+            if solutions_tried == 0 and not prior_solutions and provable:
+                return TestGenResult(
+                    TestGenStatus.UNTESTABLE,
+                    backtracks=total_backtracks,
+                    counters=counters,
+                )
+            if provable and justify_all_exhausted:
+                # every achievable required state was proven unjustifiable
+                return TestGenResult(
+                    TestGenStatus.UNTESTABLE,
+                    backtracks=total_backtracks,
+                    counters=counters,
+                )
+            break
+
+        return TestGenResult(
+            TestGenStatus.ABORTED, backtracks=total_backtracks, counters=counters
+        )
+
+    # ------------------------------------------------------------------
+    def _try_justify(
+        self, sol: Solution, justifier: Justifier, counters: FlowCounters
+    ) -> "tuple[Optional[TestGenResult], JustifyStatus]":
+        required = sol.required_state
+        if not required:
+            return (
+                TestGenResult(
+                    TestGenStatus.DETECTED,
+                    sequence=list(sol.vectors),
+                    justification_frames=0,
+                ),
+                JustifyStatus.JUSTIFIED,
+            )
+        counters.justify_calls += 1
+        jres = justifier(required)
+        if jres.success:
+            counters.justify_successes += 1
+            return (
+                TestGenResult(
+                    TestGenStatus.DETECTED,
+                    sequence=list(jres.vectors) + list(sol.vectors),
+                    justification_frames=len(jres.vectors),
+                ),
+                jres.status,
+            )
+        return None, jres.status
+
+    # ------------------------------------------------------------------
+    def _fill(self, sequence: List[List[int]]) -> List[List[int]]:
+        """Resolve don't-cares deterministically (constraints-aware)."""
+        filled = [[0 if v == X else v for v in vec] for vec in sequence]
+        if self.constraints is not None:
+            self.constraints.apply_to_vectors(self.cc.circuit, filled)
+        return filled
+
+    def _confirm(self, result: TestGenResult) -> bool:
+        """Fault-simulate the candidate from the actual start states."""
+        filled = self._fill(result.sequence)
+        states = (
+            {self._fault: list(self._start_fault)}
+            if self._start_fault is not None
+            else None
+        )
+        outcome = self._verifier.run(
+            filled,
+            [self._fault],
+            good_state=self._start_good,
+            fault_states=states,
+        )
+        if self._fault in outcome.detected:
+            result.sequence = filled
+            return True
+        return False

@@ -1,0 +1,119 @@
+"""Deterministic state justification by reverse time processing.
+
+Given a required flip-flop state, search backwards one time frame at a
+time: each step runs a fault-free JUSTIFY-mode PODEM that finds primary
+input values (plus, when unavoidable, previous-frame state requirements)
+making the flip-flop D inputs produce the required values.  The recursion
+bottoms out when a step needs **no** state requirement at all — the
+assembled vector sequence then justifies the state from the all-unknown
+(power-up) state, which is exactly HITEC's notion of justification.
+
+Alternative single-step solutions are enumerated on demand from the PODEM
+engine, so the search backtracks across frames like HITEC's reverse time
+processing.  Exhaustion is tracked precisely enough to distinguish "proven
+unjustifiable within the depth bound" from "gave up on a budget limit".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..simulation.compiled import CompiledCircuit
+from .constraints import InputConstraints
+from .podem import Limits, PodemEngine, SearchStatus
+from .scoap import Testability, compute_testability
+
+
+class JustifyStatus(enum.Enum):
+    """How a reverse-time justification attempt ended."""
+
+    JUSTIFIED = "justified"    #: sequence found (valid from the all-X state)
+    EXHAUSTED = "exhausted"    #: proven impossible within the depth bound
+    LIMIT = "limit"            #: backtrack/time budget hit
+    BOUNDED = "bounded"        #: failed, but the depth bound was binding
+
+
+@dataclass
+class JustifyResult:
+    """Outcome of :func:`justify_state`.
+
+    Attributes:
+        status: how the search ended.
+        vectors: justification sequence (earliest vector first), with X for
+            unconstrained inputs; empty when the requirement was empty.
+        frames: number of reverse frames used.
+    """
+
+    status: JustifyStatus
+    vectors: List[List[int]] = field(default_factory=list)
+
+    @property
+    def frames(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def success(self) -> bool:
+        return self.status is JustifyStatus.JUSTIFIED
+
+
+def justify_state(
+    cc: CompiledCircuit,
+    required: Dict[str, int],
+    max_depth: int,
+    limits: Limits,
+    testability: Optional[Testability] = None,
+    solutions_per_step: int = 8,
+    constraints: "Optional[InputConstraints]" = None,
+) -> JustifyResult:
+    """Find an input sequence that justifies ``required`` from the all-X state.
+
+    Args:
+        cc: compiled circuit.
+        required: cared flip-flop values {ff net name: 0/1}.
+        max_depth: maximum number of reverse time frames to chain.
+        limits: shared search budget (backtracks count across all steps).
+        testability: SCOAP measures (computed once if omitted).
+        solutions_per_step: alternative single-frame solutions to try before
+            giving up on a partial requirement.
+        constraints: environment-imposed input constraints applied to every
+            justification vector.
+    """
+    meas = testability or compute_testability(cc)
+    flags = {"limit": False, "bounded": False}
+
+    def dfs(
+        req: Dict[str, int], depth: int, seen: FrozenSet[FrozenSet]
+    ) -> Optional[List[List[int]]]:
+        if not req:
+            return []
+        if depth <= 0:
+            flags["bounded"] = True
+            return None
+        key = frozenset(req.items())
+        if key in seen:
+            return None  # state-requirement loop: cannot make progress
+        engine = PodemEngine(cc, targets=req, testability=meas,
+                             constraints=constraints)
+        tried = 0
+        for sol in engine.solutions(limits):
+            tried += 1
+            prefix = dfs(sol.required_state, depth - 1, seen | {key})
+            if prefix is not None:
+                return prefix + [sol.vectors[0]]
+            if tried >= solutions_per_step:
+                flags["bounded"] = True
+                break
+        if engine.status is SearchStatus.LIMIT:
+            flags["limit"] = True
+        return None
+
+    vectors = dfs(dict(required), max_depth, frozenset())
+    if vectors is not None:
+        return JustifyResult(JustifyStatus.JUSTIFIED, vectors)
+    if flags["limit"]:
+        return JustifyResult(JustifyStatus.LIMIT)
+    if flags["bounded"]:
+        return JustifyResult(JustifyStatus.BOUNDED)
+    return JustifyResult(JustifyStatus.EXHAUSTED)

@@ -1,0 +1,362 @@
+"""Iterative time-frame expansion model for sequential ATPG.
+
+:class:`UnrolledModel` materialises ``num_frames`` copies of the circuit's
+combinational logic.  Frame ``f``'s flip-flop outputs equal frame ``f-1``'s
+D-input values; frame 0's flip-flop outputs are free *pseudo primary
+inputs* (the state the justifier must later produce).  Every net in every
+frame carries a packed two-slot (good, faulty) nine-valued word, with the
+target fault injected into the faulty slot of **every** frame, PROOFS-style.
+
+The model supports the exact operations PODEM needs:
+
+* assign a value to a leaf (a PI of any frame, or a frame-0 PPI),
+* event-driven forward propagation with an undo log per decision,
+* D-frontier / fault-excitation / PO-detection / X-path queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gates import GateType
+from ..faults.model import Fault
+from ..simulation.compiled import CompiledCircuit
+from ..simulation.encoding import PackedValue, X, eval_packed
+from ..simulation.logic_sim import _eval_ints
+from .values import MASK2, XX, faulty_of, good_of, has_x, is_d, make9
+
+#: A leaf the search may decide on: (frame, net index).
+Leaf = Tuple[int, int]
+
+#: One undo record: (frame, net index, old p1, old p0).
+UndoRecord = Tuple[int, int, int, int]
+
+
+def _stuck_mask(value: PackedValue, stuck: int) -> PackedValue:
+    """Force the faulty slot (bit 1) of ``value`` to the stuck constant."""
+    p1, p0 = value
+    if stuck == 1:
+        return p1 | 0b10, p0 & ~0b10 & MASK2
+    return p1 & ~0b10 & MASK2, p0 | 0b10
+
+
+class UnrolledModel:
+    """Nine-valued good/faulty simulation over an unrolled frame window.
+
+    Args:
+        cc: compiled circuit.
+        fault: the target fault, or ``None`` for fault-free operation
+            (used by deterministic state justification).
+        num_frames: number of time frames in the window (≥ 1).
+    """
+
+    def __init__(
+        self, cc: CompiledCircuit, fault: Optional[Fault], num_frames: int = 1
+    ):
+        if num_frames < 1:
+            raise ValueError("num_frames must be >= 1")
+        self.cc = cc
+        self.fault = fault
+        self.num_frames = num_frames
+
+        # injection handles
+        self._stem_idx: Optional[int] = None
+        self._pin_gate: Optional[int] = None  # gate position
+        self._pin: Optional[int] = None
+        self._ff_pos: Optional[int] = None
+        self._site_idx: Optional[int] = None
+        self._stuck = 0
+        if fault is not None:
+            self._stuck = fault.stuck
+            self._site_idx = cc.index[fault.net]
+            if not fault.is_branch:
+                self._stem_idx = self._site_idx
+            else:
+                reader = cc.circuit.gates[fault.gate]
+                if reader.gtype is GateType.DFF:
+                    self._ff_pos = cc.ff_out.index(cc.index[fault.gate])
+                else:
+                    self._pin_gate = cc.gate_of[cc.index[fault.gate]]
+                    self._pin = fault.pin
+
+        n = cc.num_nets
+        self.v1: List[List[int]] = [[XX[0]] * n for _ in range(num_frames)]
+        self.v0: List[List[int]] = [[XX[1]] * n for _ in range(num_frames)]
+        self._pending: List[List[Set[int]]] = [
+            [set() for _ in range(cc.num_levels + 1)] for _ in range(num_frames)
+        ]
+        self._init_sweep()
+
+    # ------------------------------------------------------------------
+    # value access
+    # ------------------------------------------------------------------
+    def value(self, frame: int, idx: int) -> PackedValue:
+        """Packed (good, faulty) value of a net in a frame."""
+        return self.v1[frame][idx], self.v0[frame][idx]
+
+    def good(self, frame: int, idx: int) -> int:
+        """Good-circuit scalar value of a net in a frame."""
+        return good_of(self.value(frame, idx))
+
+    def is_leaf(self, frame: int, idx: int) -> bool:
+        """True for decidable leaves: any-frame PIs and frame-0 PPIs."""
+        if self.cc.gate_of[idx] is not None:
+            return False
+        g = self.cc.circuit.gates.get(self.cc.net_names[idx])
+        if g is None:  # primary input
+            return True
+        return frame == 0  # flip-flop output: leaf only in frame 0
+
+    # ------------------------------------------------------------------
+    # assignment / propagation / undo
+    # ------------------------------------------------------------------
+    def assign(self, frame: int, idx: int, scalar: int) -> List[UndoRecord]:
+        """Assign a 0/1 value to a leaf and propagate; returns the undo log.
+
+        Leaf values are identical in the good and faulty circuits (inputs
+        are never faulted differently; a stuck PI is handled by the
+        injection masking below).
+        """
+        if not self.is_leaf(frame, idx):
+            raise ValueError(
+                f"({frame}, {self.cc.net_names[idx]}) is not a decidable leaf"
+            )
+        undo: List[UndoRecord] = []
+        self._write(frame, idx, make9(scalar, scalar), undo)
+        self._settle(frame, undo)
+        return undo
+
+    def unassign(self, undo: List[UndoRecord]) -> None:
+        """Revert a previous :meth:`assign` using its undo log."""
+        for frame, idx, p1, p0 in reversed(undo):
+            self.v1[frame][idx] = p1
+            self.v0[frame][idx] = p0
+        for frame_buckets in self._pending:
+            for bucket in frame_buckets:
+                bucket.clear()
+
+    def _write(
+        self, frame: int, idx: int, value: PackedValue, undo: List[UndoRecord]
+    ) -> None:
+        p1, p0 = value
+        if self._stem_idx == idx:
+            p1, p0 = _stuck_mask((p1, p0), self._stuck)
+        if (p1, p0) == (self.v1[frame][idx], self.v0[frame][idx]):
+            return
+        undo.append((frame, idx, self.v1[frame][idx], self.v0[frame][idx]))
+        self.v1[frame][idx] = p1
+        self.v0[frame][idx] = p0
+        for pos in self.cc.fanout_gates[idx]:
+            self._pending[frame][self.cc.gates[pos].level].add(pos)
+
+    def effective_inputs(self, frame: int, pos: int) -> List[PackedValue]:
+        """Gate input values as the gate sees them (branch fault applied)."""
+        gate = self.cc.gates[pos]
+        vals = [self.value(frame, i) for i in gate.fanin]
+        if pos == self._pin_gate:
+            vals[self._pin] = _stuck_mask(vals[self._pin], self._stuck)
+        return vals
+
+    def _settle(self, start_frame: int, undo: List[UndoRecord]) -> None:
+        cc = self.cc
+        pin_gate = self._pin_gate
+        for frame in range(start_frame, self.num_frames):
+            buckets = self._pending[frame]
+            v1, v0 = self.v1[frame], self.v0[frame]
+            for bucket in buckets:
+                while bucket:
+                    pos = bucket.pop()
+                    gate = cc.gates[pos]
+                    if pos == pin_gate:
+                        vals = self.effective_inputs(frame, pos)
+                        out = eval_packed(gate.gtype, vals, MASK2)
+                    else:
+                        out = _eval_ints(gate.code, gate.fanin, v1, v0, MASK2)
+                    self._write(frame, gate.out, out, undo)
+            if frame + 1 < self.num_frames:
+                self._latch(frame, undo)
+
+    def _latch(self, frame: int, undo: List[UndoRecord]) -> None:
+        """Carry frame ``frame`` D-input values into frame ``frame+1``."""
+        cc = self.cc
+        for ff_pos, (out_idx, in_idx) in enumerate(zip(cc.ff_out, cc.ff_in)):
+            val = self.value(frame, in_idx)
+            if ff_pos == self._ff_pos:
+                val = _stuck_mask(val, self._stuck)
+            self._write(frame + 1, out_idx, val, undo)
+
+    def _init_sweep(self) -> None:
+        """Full initial evaluation (applies injections to the all-X state)."""
+        cc = self.cc
+        scratch: List[UndoRecord] = []  # discarded: this *is* the baseline
+        for frame in range(self.num_frames):
+            if self._stem_idx is not None and cc.is_source(self._stem_idx):
+                p1, p0 = _stuck_mask(self.value(frame, self._stem_idx), self._stuck)
+                self.v1[frame][self._stem_idx] = p1
+                self.v0[frame][self._stem_idx] = p0
+            for pos, gate in enumerate(cc.gates):
+                vals = self.effective_inputs(frame, pos)
+                out = eval_packed(gate.gtype, vals, MASK2)
+                if self._stem_idx == gate.out:
+                    out = _stuck_mask(out, self._stuck)
+                self.v1[frame][gate.out] = out[0]
+                self.v0[frame][gate.out] = out[1]
+            if frame + 1 < self.num_frames:
+                self._latch(frame, scratch)
+        for frame_buckets in self._pending:
+            for bucket in frame_buckets:
+                bucket.clear()
+
+    # ------------------------------------------------------------------
+    # ATPG queries
+    # ------------------------------------------------------------------
+    def detected_at(self, observe_ppo: bool = False) -> Optional[Tuple[int, int]]:
+        """First (frame, net index) where a D/D̄ reaches an observation point.
+
+        Observation points are the primary outputs; with ``observe_ppo``
+        the last frame's flip-flop D inputs count too (scan-style testing,
+        where captured state is shifted out and compared).
+        """
+        for frame in range(self.num_frames):
+            for po in self.cc.po:
+                if is_d(self.value(frame, po)):
+                    return frame, po
+        if observe_ppo:
+            last = self.num_frames - 1
+            for idx in self.cc.ff_in:
+                if is_d(self.value(last, idx)):
+                    return last, idx
+        return None
+
+    def fault_excited(self, frame: int = 0) -> bool:
+        """True when the fault produces a D at its site in ``frame``.
+
+        For a stem fault the injected net itself shows D; for a branch
+        fault the site is the reading gate's input view.
+        """
+        if self.fault is None:
+            return True
+        site = self.value(frame, self._site_idx)
+        if self._stem_idx is not None:
+            return is_d(site)
+        # branch fault: excited when the source's good value opposes stuck
+        g = good_of(site)
+        return g != X and g != self._stuck
+
+    def excitation_possible(self, frame: int = 0) -> bool:
+        """False once the site's good value is fixed at the stuck value."""
+        if self.fault is None:
+            return True
+        g = self.good(frame, self._site_idx)
+        return g == X or g != self._stuck
+
+    def d_frontier(self) -> List[Tuple[int, int]]:
+        """Gates with a D/D̄ input and an X-bearing output, as (frame, pos).
+
+        Works on raw value words: a slot pair is D/D̄ when both two-bit
+        halves are known (``p1 ^ p0 == 0b11``) and the good and faulty
+        bits of ``p1`` differ; the output bears X when ``p1 & p0 != 0``.
+        """
+        frontier: List[Tuple[int, int]] = []
+        gates = self.cc.gates
+        pin_gate = self._pin_gate
+        for frame in range(self.num_frames):
+            v1, v0 = self.v1[frame], self.v0[frame]
+            for pos, gate in enumerate(gates):
+                out = gate.out
+                if not (v1[out] & v0[out]):  # fully known output: not frontier
+                    continue
+                if pos == pin_gate:
+                    if any(is_d(v) for v in self.effective_inputs(frame, pos)):
+                        frontier.append((frame, pos))
+                    continue
+                for i in gate.fanin:
+                    a1, a0 = v1[i], v0[i]
+                    if (a1 ^ a0) == MASK2 and (a1 & 1) != (a1 >> 1):
+                        frontier.append((frame, pos))
+                        break
+        return frontier
+
+    def d_reaches_window_edge(self) -> bool:
+        """True when a fault effect sits at the last frame's D inputs.
+
+        Indicates the propagation window (not the logic) cut the search
+        short — the caller must not claim untestability in that case.  A
+        branch fault feeding a flip-flop's D pin counts as soon as it is
+        excitable in the last frame: its effect only ever materialises one
+        frame later.
+        """
+        last = self.num_frames - 1
+        if any(is_d(self.value(last, i)) for i in self.cc.ff_in):
+            return True
+        if self._ff_pos is not None:
+            g = self.good(last, self._site_idx)
+            return g == X or g != self._stuck
+        return False
+
+    def x_path_exists(self, frontier: Sequence[Tuple[int, int]]) -> bool:
+        """Check some frontier gate still has an all-X path to a PO."""
+        return self.x_path_info(frontier)[0]
+
+    def x_path_info(
+        self, frontier: Sequence[Tuple[int, int]]
+    ) -> Tuple[bool, bool]:
+        """X-path reachability from the D-frontier.
+
+        Returns:
+            ``(po_reachable, edge_reachable)`` — whether an all-X path
+            leads from some frontier gate to a primary output within the
+            window, and whether one leads to a last-frame flip-flop D
+            input (i.e. the fault effect could survive past the window,
+            so failure must not be treated as proof of untestability).
+        """
+        if not frontier:
+            return False, False
+        cc = self.cc
+        po_set = set(cc.po)
+        last = self.num_frames - 1
+        ff_in_pos = {idx: pos for pos, idx in enumerate(cc.ff_in)}
+        seen: Set[Tuple[int, int]] = set()
+        stack: List[Tuple[int, int]] = [
+            (frame, cc.gates[pos].out) for frame, pos in frontier
+        ]
+        edge = False
+        while stack:
+            frame, idx = stack.pop()
+            if (frame, idx) in seen:
+                continue
+            seen.add((frame, idx))
+            val = self.value(frame, idx)
+            if not (has_x(val) or is_d(val)):
+                continue
+            if idx in po_set:
+                return True, edge
+            if idx in ff_in_pos:
+                if frame + 1 < self.num_frames:
+                    stack.append((frame + 1, cc.ff_out[ff_in_pos[idx]]))
+                elif frame == last:
+                    edge = True
+            for pos in cc.fanout_gates[idx]:
+                out = cc.gates[pos].out
+                if has_x(self.value(frame, out)):
+                    stack.append((frame, out))
+        return False, edge
+
+    # ------------------------------------------------------------------
+    # solution extraction
+    # ------------------------------------------------------------------
+    def extract_vectors(self, up_to_frame: int) -> List[List[int]]:
+        """Good-slot PI values per frame, scalars in PI order (X allowed)."""
+        return [
+            [self.good(f, i) for i in self.cc.pi] for f in range(up_to_frame + 1)
+        ]
+
+    def required_state(self) -> Dict[str, int]:
+        """Cared frame-0 flip-flop requirements, as {ff net name: 0/1}."""
+        req: Dict[str, int] = {}
+        for idx in self.cc.ff_out:
+            g = self.good(0, idx)
+            if g != X:
+                req[self.cc.net_names[idx]] = g
+        return req

@@ -1,0 +1,79 @@
+"""Nine-valued ATPG algebra on top of the packed two-slot encoding.
+
+The deterministic engines simulate the good and faulty circuits together in
+one :mod:`packed <repro.simulation.encoding>` word pair of width 2: slot 0
+carries the good-circuit value, slot 1 the faulty-circuit value.  Each slot
+is three-valued, giving Muth's nine-valued algebra for free; the classic
+five D-algebra values are the subset with equal-or-known slots:
+
+========  ===========  ============
+name      good slot    faulty slot
+========  ===========  ============
+``ZERO``  0            0
+``ONE``   1            1
+``D``     1            0
+``DBAR``  0            1
+``XX``    X            X
+========  ===========  ============
+
+All helpers below operate on ``(p1, p0)`` pairs masked to width 2.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..simulation.encoding import PackedValue, X, get_slot, pack
+
+#: Word mask for the two-slot (good, faulty) packing.
+MASK2 = 0b11
+
+ZERO: PackedValue = pack([0, 0])
+ONE: PackedValue = pack([1, 1])
+D: PackedValue = pack([1, 0])
+DBAR: PackedValue = pack([0, 1])
+XX: PackedValue = pack([X, X])
+
+
+def make9(good: int, faulty: int) -> PackedValue:
+    """Pack a (good, faulty) scalar pair into a two-slot value."""
+    return pack([good, faulty])
+
+
+def good_of(v: PackedValue) -> int:
+    """Good-circuit scalar component (0, 1, or X)."""
+    return get_slot(v, 0)
+
+
+def faulty_of(v: PackedValue) -> int:
+    """Faulty-circuit scalar component (0, 1, or X)."""
+    return get_slot(v, 1)
+
+
+def is_d(v: PackedValue) -> bool:
+    """True when the value is D or D̄ (both slots known and different)."""
+    g, f = good_of(v), faulty_of(v)
+    return g != f and g != X and f != X
+
+
+def is_known(v: PackedValue) -> bool:
+    """True when neither slot is X."""
+    return good_of(v) != X and faulty_of(v) != X
+
+
+def has_x(v: PackedValue) -> bool:
+    """True when either slot is X."""
+    return good_of(v) == X or faulty_of(v) == X
+
+
+def show9(v: PackedValue) -> str:
+    """Human-readable name: 0, 1, D, D', X, or a good/faulty pair."""
+    g, f = good_of(v), faulty_of(v)
+    if g == f:
+        return "X" if g == X else str(g)
+    if (g, f) == (1, 0):
+        return "D"
+    if (g, f) == (0, 1):
+        return "D'"
+    names = {0: "0", 1: "1", X: "x"}
+    return f"{names[g]}/{names[f]}"

@@ -1,0 +1,13 @@
+"""Historical baselines: random and weighted-random test generation."""
+
+from .random_atpg import (
+    RandomAtpgParams,
+    RandomTestGenerator,
+    WeightedRandomTestGenerator,
+)
+
+__all__ = [
+    "RandomAtpgParams",
+    "RandomTestGenerator",
+    "WeightedRandomTestGenerator",
+]

@@ -1,0 +1,51 @@
+"""Gate-level netlist substrate: circuit model, bench I/O, validation."""
+
+from .gates import GateType, eval_gate, valid_arity, CONTROLLING_VALUE, INVERSION
+from .netlist import Circuit, CircuitError, Gate, connected_nets
+from .bench import (
+    BenchParseError,
+    load_bench,
+    parse_bench,
+    save_bench,
+    write_bench,
+)
+from .scan import ScanChain, insert_scan, scan_load_sequence, strip_scan
+from .transform import live_nets, sweep
+from .verilog import (
+    VerilogError,
+    load_verilog,
+    parse_verilog,
+    save_verilog,
+    write_verilog,
+)
+from .validate import check, validate
+
+__all__ = [
+    "BenchParseError",
+    "Circuit",
+    "CircuitError",
+    "CONTROLLING_VALUE",
+    "Gate",
+    "GateType",
+    "INVERSION",
+    "ScanChain",
+    "VerilogError",
+    "check",
+    "connected_nets",
+    "eval_gate",
+    "live_nets",
+    "insert_scan",
+    "load_bench",
+    "load_verilog",
+    "parse_bench",
+    "parse_verilog",
+    "save_bench",
+    "save_verilog",
+    "scan_load_sequence",
+    "strip_scan",
+    "sweep",
+    "valid_arity",
+    "validate",
+    "write_bench",
+    "write_verilog",
+]

@@ -1,0 +1,150 @@
+"""Reader and writer for the ISCAS89 ``.bench`` netlist format.
+
+The format, as used by the ISCAS89 sequential benchmark distribution:
+
+.. code-block:: text
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G8 = AND(G14, G6)
+    G14 = NOT(G0)
+
+Gate names are case-insensitive in the wild; we accept any case and the
+``DFF``/``AND``/``NAND``/``OR``/``NOR``/``XOR``/``XNOR``/``NOT``/``BUF``
+(`BUFF` is a common spelling) primitives plus ``CONST0``/``CONST1``
+extensions.  Definitions may appear in any order — forward references are
+resolved after the whole file is read.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+
+class BenchParseError(CircuitError):
+    """Raised when a ``.bench`` description cannot be parsed."""
+
+    def __init__(self, message: str, line_no: int = 0):
+        self.line_no = line_no
+        super().__init__(f"line {line_no}: {message}" if line_no else message)
+
+
+_GATE_ALIASES = {
+    "BUFF": GateType.BUF,
+    "BUF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "DFF": GateType.DFF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^\s=]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)$")
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse a ``.bench`` netlist from a string into a :class:`Circuit`.
+
+    Args:
+        text: the full file contents.
+        name: name to give the resulting circuit.
+
+    Raises:
+        BenchParseError: on malformed lines, unknown gate types, duplicate
+            drivers, or dangling net references.
+    """
+    circuit = Circuit(name)
+    pending_outputs: List[str] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, net = decl.group(1).upper(), decl.group(2)
+            try:
+                if kind == "INPUT":
+                    circuit.add_input(net)
+                else:
+                    pending_outputs.append(net)
+            except CircuitError as exc:
+                raise BenchParseError(str(exc), line_no) from exc
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            out, type_name, arg_text = gate.groups()
+            gtype = _GATE_ALIASES.get(type_name.upper())
+            if gtype is None:
+                raise BenchParseError(f"unknown gate type {type_name!r}", line_no)
+            args = [a.strip() for a in arg_text.split(",") if a.strip()] if arg_text else []
+            try:
+                circuit.add_gate(out, gtype, args)
+            except CircuitError as exc:
+                raise BenchParseError(str(exc), line_no) from exc
+            continue
+        raise BenchParseError(f"unrecognised line {raw.strip()!r}", line_no)
+
+    known = set(circuit.inputs) | set(circuit.gates)
+    for net in pending_outputs:
+        if net not in known:
+            raise BenchParseError(f"OUTPUT({net}) names an undeclared net")
+        circuit.add_output(net)
+    for g in circuit.gates.values():
+        for src in g.inputs:
+            if src not in known:
+                raise BenchParseError(
+                    f"gate {g.output} reads undeclared net {src}"
+                )
+    return circuit
+
+
+def load_bench(path: str, name: str = "") -> Circuit:
+    """Read a ``.bench`` file from disk.
+
+    The circuit name defaults to the file stem.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if not name:
+        stem = path.rsplit("/", 1)[-1]
+        name = stem[:-6] if stem.endswith(".bench") else stem
+    return parse_bench(text, name)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Render a circuit back to ``.bench`` text.
+
+    The output round-trips through :func:`parse_bench` to an identical
+    structure (same nets, same gate types, same pin order).
+    """
+    lines: List[str] = [f"# {circuit.name}"]
+    lines += [f"INPUT({net})" for net in circuit.inputs]
+    lines += [f"OUTPUT({net})" for net in circuit.outputs]
+    for g in circuit.gates.values():
+        if g.gtype is GateType.DFF:
+            lines.append(f"{g.output} = DFF({g.inputs[0]})")
+    for g in circuit.gates.values():
+        if g.gtype is GateType.DFF:
+            continue
+        args = ", ".join(g.inputs)
+        lines.append(f"{g.output} = {g.gtype.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a ``.bench`` file on disk."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(write_bench(circuit))

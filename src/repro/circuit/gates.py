@@ -1,0 +1,132 @@
+"""Gate primitives for the gate-level netlist model.
+
+The gate set matches what the ISCAS89 ``.bench`` format can express (plus
+constants, which simplify programmatic construction): simple boolean gates,
+buffers/inverters, and D flip-flops.  Everything downstream — the logic
+simulator, the fault simulator, and the ATPG engines — dispatches on
+:class:`GateType`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GateType(enum.Enum):
+    """Kinds of netlist primitives.
+
+    ``DFF`` is the single sequential element: a positive-edge D flip-flop
+    whose output in time frame ``t + 1`` equals its input in frame ``t``.
+    ``CONST0``/``CONST1`` are zero-input tie cells.
+    """
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    DFF = "DFF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for the D flip-flop, false for combinational primitives."""
+        return self is GateType.DFF
+
+    @property
+    def is_constant(self) -> bool:
+        """True for the tie-cell primitives ``CONST0`` and ``CONST1``."""
+        return self in (GateType.CONST0, GateType.CONST1)
+
+
+#: Gate types that take exactly one input.
+UNARY_TYPES = frozenset({GateType.NOT, GateType.BUF, GateType.DFF})
+
+#: Gate types that take no inputs at all.
+NULLARY_TYPES = frozenset({GateType.CONST0, GateType.CONST1})
+
+#: Gate types that accept two or more inputs.
+NARY_TYPES = frozenset(
+    {GateType.AND, GateType.NAND, GateType.OR, GateType.NOR, GateType.XOR, GateType.XNOR}
+)
+
+#: Controlling input value per gate type (the value that alone determines the
+#: output), or ``None`` when the gate has no controlling value (XOR family,
+#: unary gates).  Used by the ATPG backtrace and by fault collapsing.
+CONTROLLING_VALUE = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.NOT: None,
+    GateType.BUF: None,
+    GateType.DFF: None,
+}
+
+#: Output inversion parity per gate type: 1 when the gate inverts the
+#: "natural" (AND/OR/identity) function of its inputs.
+INVERSION = {
+    GateType.AND: 0,
+    GateType.NAND: 1,
+    GateType.OR: 0,
+    GateType.NOR: 1,
+    GateType.XOR: 0,
+    GateType.XNOR: 1,
+    GateType.NOT: 1,
+    GateType.BUF: 0,
+    GateType.DFF: 0,
+}
+
+
+def valid_arity(gtype: GateType, n_inputs: int) -> bool:
+    """Return whether ``n_inputs`` is a legal fan-in count for ``gtype``."""
+    if gtype in NULLARY_TYPES:
+        return n_inputs == 0
+    if gtype in UNARY_TYPES:
+        return n_inputs == 1
+    return n_inputs >= 1
+
+
+def eval_gate(gtype: GateType, values: "list[int]") -> int:
+    """Evaluate a combinational gate over two-valued inputs.
+
+    ``values`` holds 0/1 integers, one per input pin.  This scalar evaluator
+    is the behavioural reference for the bit-parallel simulator; tests check
+    the two against each other exhaustively.
+
+    Raises:
+        ValueError: for ``DFF`` (not a combinational function) or an arity
+            mismatch.
+    """
+    if not valid_arity(gtype, len(values)):
+        raise ValueError(f"{gtype.value} gate cannot take {len(values)} inputs")
+    if gtype is GateType.DFF:
+        raise ValueError("DFF has no combinational function")
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype is GateType.BUF:
+        return values[0]
+    if gtype is GateType.NOT:
+        return 1 - values[0]
+    if gtype is GateType.AND:
+        return int(all(values))
+    if gtype is GateType.NAND:
+        return int(not all(values))
+    if gtype is GateType.OR:
+        return int(any(values))
+    if gtype is GateType.NOR:
+        return int(not any(values))
+    parity = sum(values) & 1
+    if gtype is GateType.XOR:
+        return parity
+    if gtype is GateType.XNOR:
+        return 1 - parity
+    raise ValueError(f"unhandled gate type {gtype}")  # pragma: no cover

@@ -1,0 +1,332 @@
+"""Gate-level netlist model.
+
+A :class:`Circuit` is a named collection of nets.  Every net is either a
+primary input or the output of exactly one :class:`Gate`.  D flip-flops are
+ordinary gates of type ``DFF``; for all structural analyses their outputs are
+treated as *pseudo primary inputs* (PPIs) and their inputs as *pseudo primary
+outputs* (PPOs), which makes the remaining graph acyclic.
+
+The class computes and caches the derived structure every algorithm in the
+package needs: fanout lists, a topological order of the combinational gates,
+per-net levels, and the sequential depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .gates import GateType, NULLARY_TYPES, valid_arity
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid circuits."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single netlist primitive.
+
+    Attributes:
+        output: name of the net this gate drives.
+        gtype: the primitive kind.
+        inputs: names of the nets feeding each input pin, in pin order.
+    """
+
+    output: str
+    gtype: GateType
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not valid_arity(self.gtype, len(self.inputs)):
+            raise CircuitError(
+                f"gate {self.output}: {self.gtype.value} cannot take "
+                f"{len(self.inputs)} inputs"
+            )
+
+
+@dataclass
+class Circuit:
+    """A sequential gate-level circuit.
+
+    Attributes:
+        name: circuit name (e.g. ``"s27"``).
+        inputs: primary input net names, in declaration order.
+        outputs: primary output net names (each must name an existing net).
+        gates: mapping from driven net name to its :class:`Gate`.
+    """
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    gates: Dict[str, Gate] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net and return its name."""
+        if net in self.gates:
+            raise CircuitError(f"net {net} is already driven by a gate")
+        if net in self.inputs:
+            raise CircuitError(f"duplicate primary input {net}")
+        self.inputs.append(net)
+        self._invalidate()
+        return net
+
+    def add_output(self, net: str) -> str:
+        """Declare an existing net as a primary output and return its name.
+
+        Raises:
+            CircuitError: if the net is already a primary output (duplicate
+                ports cannot round-trip through interchange formats).
+        """
+        if net in self.outputs:
+            raise CircuitError(f"net {net} is already a primary output")
+        self.outputs.append(net)
+        self._invalidate()
+        return net
+
+    def add_gate(self, output: str, gtype: GateType, inputs: Sequence[str] = ()) -> str:
+        """Add a gate driving ``output`` and return the output net name."""
+        if output in self.gates:
+            raise CircuitError(f"net {output} already has a driver")
+        if output in self.inputs:
+            raise CircuitError(f"net {output} is a primary input")
+        self.gates[output] = Gate(output, gtype, tuple(inputs))
+        self._invalidate()
+        return output
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def nets(self) -> List[str]:
+        """All net names: primary inputs first, then gate outputs."""
+        return list(self.inputs) + list(self.gates)
+
+    @property
+    def flops(self) -> List[str]:
+        """Output nets of all D flip-flops, in insertion order."""
+        return [g.output for g in self.gates.values() if g.gtype is GateType.DFF]
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates (flip-flops excluded)."""
+        return sum(1 for g in self.gates.values() if g.gtype is not GateType.DFF)
+
+    def driver(self, net: str) -> Optional[Gate]:
+        """Return the gate driving ``net``, or None for a primary input."""
+        return self.gates.get(net)
+
+    def is_input(self, net: str) -> bool:
+        """True when ``net`` is a primary input."""
+        return net in self._input_set()
+
+    def _input_set(self) -> frozenset:
+        if self._inputs_frozen is None:
+            self._inputs_frozen = frozenset(self.inputs)
+        return self._inputs_frozen
+
+    # ------------------------------------------------------------------
+    # derived structure (cached)
+    # ------------------------------------------------------------------
+    _fanout: Optional[Dict[str, List[Tuple[str, int]]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _topo: Optional[List[str]] = field(default=None, repr=False, compare=False)
+    _levels: Optional[Dict[str, int]] = field(default=None, repr=False, compare=False)
+    _seq_depth: Optional[int] = field(default=None, repr=False, compare=False)
+    _inputs_frozen: Optional[frozenset] = field(default=None, repr=False, compare=False)
+
+    def _invalidate(self) -> None:
+        self._fanout = None
+        self._topo = None
+        self._levels = None
+        self._seq_depth = None
+        self._inputs_frozen = None
+
+    @property
+    def fanout(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Map net -> list of (sink gate output net, input pin index)."""
+        if self._fanout is None:
+            fo: Dict[str, List[Tuple[str, int]]] = {n: [] for n in self.nets}
+            for g in self.gates.values():
+                for pin, src in enumerate(g.inputs):
+                    if src not in fo:
+                        raise CircuitError(
+                            f"gate {g.output} reads undeclared net {src}"
+                        )
+                    fo[src].append((g.output, pin))
+            self._fanout = fo
+        return self._fanout
+
+    @property
+    def topo_order(self) -> List[str]:
+        """Topological order of *combinational* gate output nets.
+
+        Flip-flop outputs and primary inputs are sources (not included);
+        every combinational gate appears after all of its input drivers.
+
+        Raises:
+            CircuitError: if the combinational graph contains a cycle.
+        """
+        if self._topo is None:
+            indeg: Dict[str, int] = {}
+            for g in self.gates.values():
+                if g.gtype is GateType.DFF:
+                    continue
+                n = 0
+                for src in g.inputs:
+                    d = self.gates.get(src)
+                    if d is not None and d.gtype is not GateType.DFF:
+                        n += 1
+                indeg[g.output] = n
+            ready = [n for n, d in indeg.items() if d == 0]
+            fanout = self.fanout
+            order: List[str] = []
+            while ready:
+                net = ready.pop()
+                order.append(net)
+                for sink, _pin in fanout[net]:
+                    if sink in indeg and self.gates[sink].gtype is not GateType.DFF:
+                        indeg[sink] -= 1
+                        if indeg[sink] == 0:
+                            ready.append(sink)
+            if len(order) != len(indeg):
+                raise CircuitError(f"{self.name}: combinational cycle detected")
+            self._topo = order
+        return self._topo
+
+    @property
+    def levels(self) -> Dict[str, int]:
+        """Combinational level per net.
+
+        Primary inputs, flip-flop outputs, and constants are level 0; each
+        combinational gate is one more than its deepest input.
+        """
+        if self._levels is None:
+            lv: Dict[str, int] = {n: 0 for n in self.inputs}
+            for g in self.gates.values():
+                if g.gtype is GateType.DFF or g.gtype in NULLARY_TYPES:
+                    lv[g.output] = 0
+            for net in self.topo_order:
+                g = self.gates[net]
+                if g.gtype in NULLARY_TYPES:
+                    continue
+                lv[net] = 1 + max(lv[src] for src in g.inputs)
+            self._levels = lv
+        return self._levels
+
+    @property
+    def max_level(self) -> int:
+        """Deepest combinational level in the circuit."""
+        return max(self.levels.values(), default=0)
+
+    @property
+    def sequential_depth(self) -> int:
+        """Number of flip-flop stages on the longest acyclic register path.
+
+        Computed on the flip-flop dependency graph (edge F1 -> F2 when F2's
+        data input combinationally depends on F1's output), measuring the
+        longest simple chain reachable from primary inputs; cycles contribute
+        their entry depth.  This matches the conventional "sequential depth"
+        used to size test sequences (the paper sizes GA sequences as a
+        multiple of it).
+        """
+        if self._seq_depth is None:
+            flops = self.flops
+            if not flops:
+                self._seq_depth = 0
+                return 0
+            deps = {f: self._flop_support(f) for f in flops}
+            depth: Dict[str, int] = {}
+            on_path: set = set()
+
+            def visit(root: str) -> int:
+                # iterative post-order DFS (deep register chains would
+                # overflow Python's recursion limit)
+                stack: List[Tuple[str, bool]] = [(root, False)]
+                while stack:
+                    node, processed = stack.pop()
+                    if processed:
+                        on_path.discard(node)
+                        depth[node] = 1 + max(
+                            (depth.get(p, 0) for p in deps[node]), default=0
+                        )
+                        continue
+                    if node in depth or node in on_path:
+                        continue  # done, or a cycle back-edge (entry depth rules)
+                    on_path.add(node)
+                    stack.append((node, True))
+                    for p in deps[node]:
+                        if p not in depth and p not in on_path:
+                            stack.append((p, False))
+                return depth[root]
+
+            self._seq_depth = max(visit(f) for f in flops)
+        return self._seq_depth
+
+    def _flop_support(self, flop: str) -> List[str]:
+        """Flip-flops whose outputs combinationally reach ``flop``'s D input."""
+        d_input = self.gates[flop].inputs[0]
+        seen = set()
+        support: List[str] = []
+        stack = [d_input]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            g = self.gates.get(net)
+            if g is None:
+                continue
+            if g.gtype is GateType.DFF:
+                support.append(net)
+            else:
+                stack.extend(g.inputs)
+        return support
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Interface and size statistics (PIs, POs, FFs, gates, depth)."""
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "flops": len(self.flops),
+            "gates": self.num_gates,
+            "levels": self.max_level,
+            "sequential_depth": self.sequential_depth,
+        }
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Return an independent structural copy of this circuit."""
+        c = Circuit(name or self.name)
+        c.inputs = list(self.inputs)
+        c.outputs = list(self.outputs)
+        c.gates = dict(self.gates)  # Gate is frozen, sharing is safe
+        return c
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"Circuit({self.name!r}, pi={s['inputs']}, po={s['outputs']}, "
+            f"ff={s['flops']}, gates={s['gates']})"
+        )
+
+
+def connected_nets(circuit: Circuit, roots: Iterable[str]) -> set:
+    """Return every net in the transitive fan-in cone of ``roots``."""
+    seen: set = set()
+    stack = list(roots)
+    while stack:
+        net = stack.pop()
+        if net in seen:
+            continue
+        seen.add(net)
+        g = circuit.gates.get(net)
+        if g is not None:
+            stack.extend(g.inputs)
+    return seen

@@ -1,0 +1,147 @@
+"""Full-scan design-for-test transform.
+
+GA-HITEC exists because sequential ATPG without scan is hard; the design
+style that eventually made it a niche is *full scan*: every flip-flop is
+replaced by a scan flip-flop (a mux in front of the D pin) and chained
+into a shift register, making every state bit directly controllable and
+observable through the chain.  This transform lets the repository quantify
+that trade-off (see ``benchmarks/test_scan_comparison.py``): coverage and
+effort for sequential ATPG on the original circuit versus combinational
+ATPG on the scan version, against the extra ~3 gates per flip-flop.
+
+The transform is purely structural:
+
+* new primary inputs ``scan_enable`` and ``scan_in``;
+* new primary output ``scan_out``;
+* each DFF's D input becomes ``MUX(scan_enable, old_d, previous_stage)``,
+  realised with AND/OR/NOT gates;
+* the last flip-flop drives ``scan_out``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .gates import GateType
+from .netlist import Circuit
+from .validate import check
+
+SCAN_ENABLE = "scan_enable"
+SCAN_IN = "scan_in"
+SCAN_OUT = "scan_out"
+
+
+@dataclass(frozen=True)
+class ScanChain:
+    """Description of an inserted scan chain.
+
+    Attributes:
+        order: flip-flop output nets, scan-in end first.
+        enable / input / output: the added port names.
+    """
+
+    order: "tuple[str, ...]"
+    enable: str = SCAN_ENABLE
+    input: str = SCAN_IN
+    output: str = SCAN_OUT
+
+    @property
+    def length(self) -> int:
+        return len(self.order)
+
+
+def insert_scan(circuit: Circuit, name: str = "") -> "tuple[Circuit, ScanChain]":
+    """Return a full-scan copy of ``circuit`` plus the chain description.
+
+    Flip-flops are chained in declaration order.  Raises on circuits that
+    already use the reserved scan port names, or that have no flip-flops.
+    """
+    flops = circuit.flops
+    if not flops:
+        raise ValueError(f"{circuit.name} has no flip-flops to scan")
+    reserved = {SCAN_ENABLE, SCAN_IN, SCAN_OUT}
+    if reserved & (set(circuit.nets) | set(circuit.outputs)):
+        raise ValueError("circuit already uses reserved scan net names")
+
+    scanned = Circuit(name or f"{circuit.name}_scan")
+    scanned.inputs = list(circuit.inputs)
+    scanned.outputs = list(circuit.outputs)
+    scanned.gates = dict(circuit.gates)
+    scanned.add_input(SCAN_ENABLE)
+    scanned.add_input(SCAN_IN)
+    scanned.add_gate("scan_nen", GateType.NOT, [SCAN_ENABLE])
+
+    previous = SCAN_IN
+    for ff in flops:
+        old_gate = scanned.gates.pop(ff)
+        d_net = old_gate.inputs[0]
+        func = f"{ff}_scanf"   # functional path: enabled when scan_enable=0
+        shift = f"{ff}_scans"  # shift path: enabled when scan_enable=1
+        mux = f"{ff}_scanmux"
+        scanned.add_gate(func, GateType.AND, [d_net, "scan_nen"])
+        scanned.add_gate(shift, GateType.AND, [previous, SCAN_ENABLE])
+        scanned.add_gate(mux, GateType.OR, [func, shift])
+        scanned.add_gate(ff, GateType.DFF, [mux])
+        previous = ff
+
+    scanned.add_gate(SCAN_OUT, GateType.BUF, [previous])
+    scanned.add_output(SCAN_OUT)
+    # validate the inserted structure, but do not reject pre-existing
+    # dangling logic the input circuit already carried
+    from .validate import validate
+
+    problems = [p for p in validate(scanned) if "dangling" not in p]
+    if problems:
+        from .netlist import CircuitError
+
+        raise CircuitError(f"{scanned.name}: " + "; ".join(problems[:5]))
+    return scanned, ScanChain(order=tuple(flops))
+
+
+def scan_load_sequence(
+    chain: ScanChain, state: Dict[str, int], n_pi: int, pi_fill: int = 0
+) -> List[List[int]]:
+    """Vectors that shift ``state`` into the chain (functional PIs idle).
+
+    The returned vectors are in the *scanned* circuit's PI order, which is
+    the original PIs followed by ``scan_enable`` and ``scan_in``.  After
+    ``chain.length`` clocks the register named ``chain.order[i]`` holds
+    ``state`` bit for that name (don't-care bits shift in as 0).
+
+    Args:
+        chain: the inserted chain.
+        state: desired values keyed by flip-flop output net.
+        n_pi: number of *original* primary inputs.
+        pi_fill: value driven on the functional PIs while shifting.
+    """
+    # bit shifted first ends up in the LAST register of the chain
+    bits = [state.get(ff, 0) for ff in chain.order]
+    vectors = []
+    for bit in reversed(bits):
+        vectors.append([pi_fill] * n_pi + [1, bit])
+    return vectors
+
+
+def strip_scan(circuit: Circuit, chain: ScanChain) -> Circuit:
+    """Best-effort inverse of :func:`insert_scan` (for round-trip tests)."""
+    stripped = Circuit(circuit.name.removesuffix("_scan"))
+    stripped.inputs = [
+        n for n in circuit.inputs if n not in (chain.enable, chain.input)
+    ]
+    stripped.outputs = [n for n in circuit.outputs if n != chain.output]
+    gates = dict(circuit.gates)
+    gates.pop(chain.output, None)
+    gates.pop("scan_nen", None)
+    for ff in chain.order:
+        mux = gates.pop(f"{ff}_scanmux")
+        func = gates.pop(f"{ff}_scanf")
+        gates.pop(f"{ff}_scans")
+        d_net = func.inputs[0]
+        ff_gate = gates.pop(ff)
+        stripped_gate_inputs = (d_net,)
+        from .netlist import Gate
+
+        gates[ff] = Gate(ff, GateType.DFF, stripped_gate_inputs)
+    stripped.gates = gates
+    return check(stripped)

@@ -1,0 +1,50 @@
+"""Structural netlist transforms.
+
+Currently: :func:`sweep`, the classic dead-logic sweep — iteratively
+removes gates whose outputs neither reach a primary output nor a
+flip-flop that itself matters.  The RTL builder runs it after elaboration
+(word-level operators like adders produce carry chains whose top carry is
+often unused), and it is part of the public API for user netlists.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .gates import GateType
+from .netlist import Circuit
+
+
+def live_nets(circuit: Circuit) -> Set[str]:
+    """Nets transitively needed by the primary outputs.
+
+    Flip-flops are kept only when their outputs feed something live
+    (the traversal naturally re-visits through DFF data inputs).
+    """
+    seen: Set[str] = set()
+    stack = list(circuit.outputs)
+    while stack:
+        net = stack.pop()
+        if net in seen:
+            continue
+        seen.add(net)
+        gate = circuit.gates.get(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    return seen
+
+
+def sweep(circuit: Circuit) -> Circuit:
+    """Return a copy of ``circuit`` without dead gates.
+
+    Primary inputs are all kept (the interface is part of the contract),
+    as is every gate in the fan-in cone of some primary output.
+    """
+    keep = live_nets(circuit)
+    swept = Circuit(circuit.name)
+    swept.inputs = list(circuit.inputs)
+    swept.outputs = list(circuit.outputs)
+    swept.gates = {
+        net: gate for net, gate in circuit.gates.items() if net in keep
+    }
+    return swept

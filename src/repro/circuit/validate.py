@@ -1,0 +1,78 @@
+"""Structural validation for circuits.
+
+:func:`validate` collects every structural problem in one pass so callers
+can report them all at once; :func:`check` raises on the first problem.
+These checks run on every circuit the benchmark generators emit, and the
+test suite runs them on all embedded circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .gates import GateType, valid_arity
+from .netlist import Circuit, CircuitError, connected_nets
+
+
+def validate(circuit: Circuit) -> List[str]:
+    """Return a list of structural problems (empty when the circuit is clean).
+
+    Checks performed:
+
+    * every gate input names a declared net;
+    * gate arities are legal for their type;
+    * every primary output names a declared net;
+    * no net is both a primary input and gate-driven;
+    * the combinational graph is acyclic;
+    * every primary output transitively depends on something (not floating);
+    * warns about nets that drive nothing and are not primary outputs.
+    """
+    problems: List[str] = []
+    known = set(circuit.inputs) | set(circuit.gates)
+
+    for g in circuit.gates.values():
+        if not valid_arity(g.gtype, len(g.inputs)):
+            problems.append(
+                f"gate {g.output}: bad arity {len(g.inputs)} for {g.gtype.value}"
+            )
+        for src in g.inputs:
+            if src not in known:
+                problems.append(f"gate {g.output}: reads undeclared net {src}")
+    for net in circuit.outputs:
+        if net not in known:
+            problems.append(f"primary output {net} is undeclared")
+    for net in circuit.inputs:
+        if net in circuit.gates:
+            problems.append(f"net {net} is both primary input and gate-driven")
+
+    if not problems:
+        try:
+            circuit.topo_order
+        except CircuitError as exc:
+            problems.append(str(exc))
+
+    if not problems:
+        sinks = set(circuit.outputs) | {
+            g.output for g in circuit.gates.values() if g.gtype is GateType.DFF
+        }
+        used = connected_nets(circuit, sinks)
+        inputs = set(circuit.inputs)
+        for net in circuit.nets:
+            if net in used or net in circuit.outputs:
+                continue
+            if net in inputs:
+                continue  # an unused PI is part of the declared interface
+            problems.append(f"net {net} drives nothing observable (dangling)")
+    return problems
+
+
+def check(circuit: Circuit) -> Circuit:
+    """Raise :class:`CircuitError` on the first structural problem found.
+
+    Returns the circuit unchanged when it is clean, so the call can be
+    chained: ``sim = LogicSimulator(check(build_foo()))``.
+    """
+    problems = validate(circuit)
+    if problems:
+        raise CircuitError(f"{circuit.name}: " + "; ".join(problems[:5]))
+    return circuit

@@ -1,0 +1,214 @@
+"""Structural Verilog interchange (gate-level subset).
+
+Writes and reads the gate-level Verilog dialect EDA tools exchange:
+one module, ``input``/``output``/``wire`` declarations, primitive gate
+instantiations (``and``, ``nand``, ``or``, ``nor``, ``xor``, ``xnor``,
+``not``, ``buf``) with the output as the first terminal, and D flip-flops
+as instances of a ``dff`` cell with ``.q``/``.d`` named ports:
+
+.. code-block:: verilog
+
+    module s27 (G0, G1, G2, G3, G17);
+      input G0, G1, G2, G3;
+      output G17;
+      wire G5, ...;
+      dff ff_G5 (.q(G5), .d(G10));
+      not u_G14 (G14, G0);
+      and u_G8 (G8, G14, G6);
+    endmodule
+
+Identifiers that are not valid Verilog names are escaped on write
+(``\\name ``) and unescaped on read.  The subset is exactly what
+:class:`~repro.circuit.netlist.Circuit` can express, so write → read is an
+identity on structure.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+_PRIMITIVES = {
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+}
+_BY_PRIMITIVE = {v: k for k, v in _PRIMITIVES.items()}
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+_KEYWORDS = {"module", "endmodule", "input", "output", "wire", "dff",
+             "supply0", "supply1"} | set(_BY_PRIMITIVE)
+
+
+class VerilogError(CircuitError):
+    """Raised when structural Verilog cannot be parsed."""
+
+
+def _escape(name: str) -> str:
+    if _IDENT_RE.match(name) and name not in _KEYWORDS:
+        return name
+    return f"\\{name} "
+
+
+def _unescape(token: str) -> str:
+    return token[1:] if token.startswith("\\") else token
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Render a circuit as structural Verilog."""
+    ports = [_escape(n) for n in circuit.inputs]
+    ports += [_escape(n) for n in dict.fromkeys(circuit.outputs)]
+    lines = [f"module {_escape(circuit.name or 'top')} ({', '.join(ports)});"]
+    if circuit.inputs:
+        lines.append(
+            "  input " + ", ".join(_escape(n) for n in circuit.inputs) + ";"
+        )
+    outs = list(dict.fromkeys(circuit.outputs))
+    if outs:
+        lines.append("  output " + ", ".join(_escape(n) for n in outs) + ";")
+    wires = [n for n in circuit.gates if n not in set(outs)]
+    if wires:
+        lines.append("  wire " + ", ".join(_escape(n) for n in wires) + ";")
+    lines.append("")
+    counter = 0
+    for gate in circuit.gates.values():
+        counter += 1
+        out = _escape(gate.output)
+        if gate.gtype is GateType.DFF:
+            lines.append(
+                f"  dff ff_{counter} (.q({out}), .d({_escape(gate.inputs[0])}));"
+            )
+        elif gate.gtype is GateType.CONST0:
+            lines.append(f"  supply0 c_{counter} ({out});")
+        elif gate.gtype is GateType.CONST1:
+            lines.append(f"  supply1 c_{counter} ({out});")
+        else:
+            prim = _PRIMITIVES[gate.gtype]
+            terms = ", ".join([out] + [_escape(i) for i in gate.inputs])
+            lines.append(f"  {prim} u_{counter} ({terms});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_TOKEN_RE = re.compile(r"\\[^\s]+\s|[A-Za-z_$][A-Za-z0-9_$]*|[(),.;]")
+
+
+def _tokenize(text: str) -> List[str]:
+    text = re.sub(r"//[^\n]*", " ", text)
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return [t.strip() if not t.startswith("\\") else t.rstrip()
+            for t in _TOKEN_RE.findall(text)]
+
+
+def parse_verilog(text: str, name: str = "") -> Circuit:
+    """Parse the structural subset back into a :class:`Circuit`."""
+    tokens = _tokenize(text)
+    pos = 0
+
+    def peek() -> str:
+        return tokens[pos] if pos < len(tokens) else ""
+
+    def take(expected: str = "") -> str:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise VerilogError("unexpected end of input")
+        token = tokens[pos]
+        pos += 1
+        if expected and token != expected:
+            raise VerilogError(f"expected {expected!r}, got {token!r}")
+        return token
+
+    def name_list() -> List[str]:
+        names = [_unescape(take())]
+        while peek() == ",":
+            take(",")
+            names.append(_unescape(take()))
+        take(";")
+        return names
+
+    take("module")
+    module_name = _unescape(take())
+    circuit = Circuit(name or module_name)
+    if peek() == "(":
+        take("(")
+        while peek() != ")":
+            take()
+        take(")")
+    take(";")
+
+    outputs: List[str] = []
+    while peek() and peek() != "endmodule":
+        token = take()
+        if token == "input":
+            for net in name_list():
+                circuit.add_input(net)
+        elif token == "output":
+            outputs.extend(name_list())
+        elif token == "wire":
+            name_list()  # declarations carry no structure
+        elif token in _BY_PRIMITIVE:
+            take()  # instance name
+            take("(")
+            terms = [_unescape(take())]
+            while peek() == ",":
+                take(",")
+                terms.append(_unescape(take()))
+            take(")")
+            take(";")
+            circuit.add_gate(terms[0], _BY_PRIMITIVE[token], terms[1:])
+        elif token == "dff":
+            take()  # instance name
+            take("(")
+            port_map: Dict[str, str] = {}
+            while True:
+                take(".")
+                port = take()
+                take("(")
+                port_map[port] = _unescape(take())
+                take(")")
+                if peek() != ",":
+                    break
+                take(",")
+            take(")")
+            take(";")
+            if "q" not in port_map or "d" not in port_map:
+                raise VerilogError("dff instance needs .q and .d ports")
+            circuit.add_gate(port_map["q"], GateType.DFF, [port_map["d"]])
+        elif token in ("supply0", "supply1"):
+            take()  # instance name
+            take("(")
+            net = _unescape(take())
+            take(")")
+            take(";")
+            gtype = GateType.CONST0 if token == "supply0" else GateType.CONST1
+            circuit.add_gate(net, gtype, [])
+        else:
+            raise VerilogError(f"unsupported construct {token!r}")
+    take("endmodule")
+
+    known = set(circuit.inputs) | set(circuit.gates)
+    for net in outputs:
+        if net not in known:
+            raise VerilogError(f"output {net} is undeclared")
+        circuit.add_output(net)
+    return circuit
+
+
+def save_verilog(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a ``.v`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_verilog(circuit))
+
+
+def load_verilog(path: str, name: str = "") -> Circuit:
+    """Read a structural ``.v`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_verilog(handle.read(), name)

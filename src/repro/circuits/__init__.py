@@ -1,0 +1,41 @@
+"""Benchmark circuits: embedded s27, ISCAS89 stand-ins, synthesised designs."""
+
+from .s27 import S27_BENCH, s27
+from .generators import counter, shift_register, synthetic_sequential
+from .iscas89 import (
+    CircuitSpec,
+    ISCAS89_SPECS,
+    QUICK_SET,
+    available,
+    iscas89,
+)
+from .crafted import (
+    REDUNDANT_FAULT,
+    gray_fsm,
+    redundant_and,
+    two_stage_pipeline,
+    untestable_stem,
+)
+from .synth import am2910, div16, mult16, pcont2
+
+__all__ = [
+    "CircuitSpec",
+    "ISCAS89_SPECS",
+    "QUICK_SET",
+    "REDUNDANT_FAULT",
+    "S27_BENCH",
+    "am2910",
+    "available",
+    "counter",
+    "div16",
+    "gray_fsm",
+    "iscas89",
+    "mult16",
+    "pcont2",
+    "redundant_and",
+    "s27",
+    "shift_register",
+    "synthetic_sequential",
+    "two_stage_pipeline",
+    "untestable_stem",
+]

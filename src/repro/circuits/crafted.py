@@ -1,0 +1,93 @@
+"""Small hand-crafted circuits with known properties, used by tests.
+
+These give the test suite ground truth that random circuits cannot:
+a circuit with a provably untestable (redundant) fault, a minimal
+pipeline, and a tiny FSM with a known reachable-state set.
+"""
+
+from __future__ import annotations
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+from ..circuit.validate import check
+from ..faults.model import Fault
+
+
+def redundant_and() -> Circuit:
+    """Combinational circuit with a classic redundancy.
+
+    ``y = (a AND b) OR (a AND NOT b)`` simplifies to ``a``; the fault
+    "second OR input stuck-at-0"... is testable, but the fault
+    ``r s-a-1`` on the consensus term ``r = a AND a`` feeding an OR with
+    ``a`` is not expressible that simply, so instead we use the textbook
+    construction: ``y = (a AND b) OR (NOT b AND c) OR (a AND c)`` where
+    the third (consensus) term is redundant — any stuck-at-0 on the
+    consensus term's output is untestable.
+    """
+    c = Circuit("redundant_and")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    cc = c.add_input("c")
+    c.add_gate("nb", GateType.NOT, [b])
+    c.add_gate("t1", GateType.AND, [a, b])
+    c.add_gate("t2", GateType.AND, ["nb", cc])
+    c.add_gate("t3", GateType.AND, [a, cc])  # consensus term: redundant
+    c.add_gate("y", GateType.OR, ["t1", "t2", "t3"])
+    c.add_output("y")
+    return check(c)
+
+
+#: The provably untestable fault in :func:`redundant_and` (the consensus
+#: term's output stuck-at-0; ``t3`` has a single reader, so the stem is
+#: the canonical fault).
+REDUNDANT_FAULT = Fault("t3", 0)
+
+
+def untestable_stem() -> "tuple[Circuit, Fault]":
+    """A circuit and a stem fault no input sequence can detect.
+
+    ``y = a AND NOT a`` is constant 0, so ``y s-a-0`` is untestable
+    (and so is anything that must propagate through ``y``'s 0).
+    """
+    c = Circuit("untestable_stem")
+    a = c.add_input("a")
+    c.add_gate("na", GateType.NOT, [a])
+    c.add_gate("y", GateType.AND, [a, "na"])
+    c.add_gate("z", GateType.OR, ["y", "b"])
+    c.add_input("b")
+    c.add_output("z")
+    return check(c), Fault("y", 0)
+
+
+def two_stage_pipeline() -> Circuit:
+    """Two flip-flops in series: PI -> FF -> FF -> PO (depth 2)."""
+    c = Circuit("pipe2")
+    a = c.add_input("a")
+    c.add_gate("f1", GateType.DFF, [a])
+    c.add_gate("f2", GateType.DFF, ["f1"])
+    c.add_gate("y", GateType.BUF, ["f2"])
+    c.add_output("y")
+    return check(c)
+
+
+def gray_fsm() -> Circuit:
+    """A resettable 2-bit Gray-code cycle FSM: 00 -> 10 -> 11 -> 01 -> 00.
+
+    ``s0' = NOR(s1, rst)``, ``s1' = AND(s0, NOT rst)``.  The synchronous
+    reset gives a definite initialisation path from the all-unknown state;
+    state ``11`` is only reachable two steps after a reset, exercising
+    multi-frame state justification.
+    """
+    c = Circuit("gray_fsm")
+    rst = c.add_input("rst")
+    en = c.add_input("en")
+    c.add_gate("nrst", GateType.NOT, ["rst"])
+    c.add_gate("ns0", GateType.NOR, ["s1", "rst"])
+    c.add_gate("ns1", GateType.AND, ["s0", "nrst"])
+    c.add_gate("s0", GateType.DFF, ["ns0"])
+    c.add_gate("s1", GateType.DFF, ["ns1"])
+    c.add_gate("y", GateType.XOR, ["s1", "s0"])
+    c.add_gate("both", GateType.AND, ["s1", "s0", "en"])
+    c.add_output("y")
+    c.add_output("both")
+    return check(c)

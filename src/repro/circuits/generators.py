@@ -1,0 +1,277 @@
+"""Synthetic sequential benchmark generators.
+
+The ISCAS89 netlists themselves are distribution-restricted data we build
+without (see DESIGN.md); these generators produce *stand-ins* with matched
+interface statistics — primary input/output counts, flip-flop count,
+approximate gate count, and a comparable sequential depth — assembled from
+the same structural ingredients that make the originals hard for ATPG:
+
+* a flip-flop chain of the target sequential depth (deep state to justify),
+* binary counters (data-dominant state, hard-to-reach high counts),
+* random Mealy-style control logic over FSM state bits (control-dominant
+  reconvergence, redundancy, untestable faults),
+* a reconvergent combinational cloud connecting everything to the outputs.
+
+Generation is fully deterministic in the seed, so every run of the test
+suite and benchmarks sees byte-identical circuits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+from ..circuit.validate import check
+
+#: Gate-type palettes per style.
+_CONTROL_TYPES = [
+    GateType.NAND, GateType.NOR, GateType.AND, GateType.OR,
+    GateType.NOT, GateType.NAND, GateType.NOR,
+]
+_DATA_TYPES = [
+    GateType.AND, GateType.OR, GateType.XOR, GateType.XNOR,
+    GateType.NAND, GateType.NOR, GateType.NOT, GateType.XOR,
+]
+
+
+class _Gen:
+    """Shared plumbing for the generators."""
+
+    def __init__(self, name: str, seed: int):
+        self.c = Circuit(name)
+        self.rng = random.Random(seed)
+        self.n = 0
+
+    def fresh(self, prefix: str = "g") -> str:
+        self.n += 1
+        return f"{prefix}{self.n}"
+
+    def gate(self, gtype: GateType, inputs: Sequence[str]) -> str:
+        out = self.fresh()
+        self.c.add_gate(out, gtype, list(inputs))
+        return out
+
+    def dff(self, d: str, prefix: str = "ff") -> str:
+        out = self.fresh(prefix)
+        self.c.add_gate(out, GateType.DFF, [d])
+        return out
+
+
+def counter(width: int, name: str = "", seed: int = 0) -> Circuit:
+    """A clearable ``width``-bit binary counter with enable.
+
+    Bit ``i`` toggles when all lower bits and the enable are 1 — the
+    classic synchronous counter, giving a flip-flop dependency chain of
+    length ``width``.  ``clr=1`` forces every bit to a definite 0, so the
+    counter is initialisable from the all-unknown power-up state (a
+    counter without a clear can never leave X under three-valued
+    semantics).
+    """
+    c = Circuit(name or f"counter{width}")
+    en = c.add_input("en")
+    clr = c.add_input("clr")
+    c.add_gate("nclr", GateType.NOT, [clr])
+    q = [f"q{i}" for i in range(width)]
+    carry = en
+    for i in range(width):
+        c.add_gate(f"t{i}", GateType.XOR, [q[i], carry])
+        c.add_gate(f"d{i}", GateType.AND, [f"t{i}", "nclr"])
+        c.add_gate(q[i], GateType.DFF, [f"d{i}"])
+        if i + 1 < width:
+            c.add_gate(f"c{i}", GateType.AND, [q[i], carry])
+            carry = f"c{i}"
+    for net in q:
+        c.add_output(net)
+    return check(c)
+
+
+def shift_register(length: int, name: str = "", taps: Sequence[int] = ()) -> Circuit:
+    """A serial-in shift register, optionally with XOR feedback taps (LFSR)."""
+    c = Circuit(name or f"shift{length}")
+    sin = c.add_input("sin")
+    stages = [f"s{i}" for i in range(length)]
+    for i, net in enumerate(stages):
+        c.add_gate(net, GateType.DFF, [stages[i - 1] if i else "d0"])
+    if taps:
+        fb = "fb"
+        c.add_gate(fb, GateType.XOR, [stages[t] for t in taps])
+        c.add_gate("d0", GateType.XOR, [sin, fb])
+    else:
+        c.add_gate("d0", GateType.BUF, [sin])
+    c.add_output(stages[-1])
+    return check(c)
+
+
+def synthetic_sequential(
+    name: str,
+    n_pi: int,
+    n_po: int,
+    n_ff: int,
+    n_gates: int,
+    seq_depth: int,
+    seed: int = 0,
+    style: str = "mixed",
+) -> Circuit:
+    """Generate a stand-in sequential circuit with the given statistics.
+
+    Args:
+        name: circuit name.
+        n_pi / n_po / n_ff: interface and state sizes (matched exactly).
+        n_gates: combinational gate target (matched approximately; the
+            output collector and state glue adjust the final count).
+        seq_depth: target sequential depth (matched approximately via a
+            flip-flop chain of this length).
+        seed: deterministic generation seed.
+        style: ``"control"`` (NAND/NOR-heavy logic, FSM-like state),
+            ``"data"`` (XOR-rich logic, counter state), or ``"mixed"``.
+    """
+    if style not in ("control", "data", "mixed"):
+        raise ValueError(f"unknown style {style!r}")
+    if n_pi < 1 or n_po < 1 or n_ff < 0:
+        raise ValueError("need at least one PI and one PO")
+    g = _Gen(name, seed)
+    rng = g.rng
+    types = {
+        "control": _CONTROL_TYPES,
+        "data": _DATA_TYPES,
+        "mixed": _CONTROL_TYPES + _DATA_TYPES,
+    }[style]
+
+    pis = [g.c.add_input(f"pi{i}") for i in range(n_pi)]
+
+    # --- state plan ------------------------------------------------------
+    chain_len = max(0, min(n_ff, seq_depth))
+    counter_ffs = 0
+    if style != "control" and n_ff > chain_len:
+        counter_ffs = min(n_ff - chain_len, max(0, seq_depth - 1))
+    cone_ffs = n_ff - chain_len - counter_ffs
+
+    ff_outputs: List[str] = []
+    pending: List[str] = []  # DFF output nets whose D input comes later
+
+    chain: List[str] = []
+    for _ in range(chain_len):
+        q = g.fresh("ffc")
+        pending.append(q)
+        chain.append(q)
+        ff_outputs.append(q)
+
+    # counter block (data-style deep, hard-to-justify state)
+    if counter_ffs:
+        clear = pis[rng.randrange(len(pis))]
+        nclear = g.gate(GateType.NOT, [clear])
+        carry = pis[rng.randrange(len(pis))]
+        for i in range(counter_ffs):
+            q = g.fresh("ffn")
+            toggle = g.gate(GateType.XOR, [q, carry])
+            # clear=1 forces a definite 0: the counter can initialise from X
+            d = g.gate(GateType.AND, [nclear, toggle])
+            g.c.add_gate(q, GateType.DFF, [d])
+            if i + 1 < counter_ffs:
+                carry = g.gate(GateType.AND, [q, carry])
+            ff_outputs.append(q)
+
+    cone_ff_list: List[str] = []
+    for _ in range(cone_ffs):
+        q = g.fresh("ffr")
+        pending.append(q)
+        cone_ff_list.append(q)
+        ff_outputs.append(q)
+
+    leaves = pis + ff_outputs
+
+    # --- cone-structured combinational logic ------------------------------
+    # Each PO and each pending flip-flop gets its own mostly-fanout-free
+    # cone (trees are fully testable); reconvergence comes from shared
+    # leaves and a small pool of shared subfunctions.
+    n_cones = n_po + len(pending)
+    budget = max(n_gates - counter_ffs * 2, n_cones)
+    shared_budget = budget // 8
+    cone_budget = budget - shared_budget
+
+    def leaf() -> str:
+        return leaves[rng.randrange(len(leaves))]
+
+    def build_tree(size: int, extra_leaves: Sequence[str] = ()) -> str:
+        """A random gate tree with ``size`` gates over random leaves."""
+        if size <= 0:
+            return leaf()
+        nodes = [leaf() for _ in range(size + 1)]
+        nodes.extend(extra_leaves)
+        rng.shuffle(nodes)
+        remaining = size
+        controlling = [t for t in types if t not in
+                       (GateType.XOR, GateType.XNOR, GateType.NOT)]
+        while remaining > 0 and len(nodes) > 1:
+            gtype = (rng.choice(controlling) if rng.random() < 0.55
+                     else rng.choice(types))
+            if gtype is GateType.NOT:
+                take = 1
+            else:
+                take = min(len(nodes), rng.randint(2, 3))
+            ins, nodes = nodes[:take], nodes[take:]
+            if take == 1 and gtype not in (GateType.NOT, GateType.BUF):
+                gtype = GateType.NOT
+            nodes.append(g.gate(gtype, ins))
+            remaining -= 1
+        while len(nodes) > 1:  # fold any leftovers
+            ins, nodes = nodes[:3], nodes[3:]
+            nodes.append(
+                g.gate(GateType.XOR if style == "data" else GateType.OR, ins)
+            )
+        return nodes[0]
+
+    # shared subfunctions give cross-cone reconvergence and branch faults
+    shared: List[str] = []
+    for _ in range(max(1, shared_budget // 4)):
+        shared.append(build_tree(3))
+    leaves = leaves + shared
+
+    sizes = _split_budget(cone_budget, n_cones, rng)
+    cones = []
+    for i in range(n_cones):
+        cones.append(build_tree(sizes[i]))
+
+    # --- close the state loops -------------------------------------------
+    cone_iter = iter(cones)
+    po_sources = [next(cone_iter) for _ in range(n_po)]
+    for q in pending:
+        d = next(cone_iter)
+        if q in chain and chain.index(q) > 0:
+            prev = chain[chain.index(q) - 1]
+            d = g.gate(rng.choice((GateType.AND, GateType.OR)), [prev, d])
+        g.c.add_gate(q, GateType.DFF, [d])
+
+    # --- fold anything unobserved into the last output --------------------
+    used = set()
+    for gate in g.c.gates.values():
+        used.update(gate.inputs)
+    unused = [
+        net for net in g.c.nets if net not in used and net not in po_sources
+    ]
+    while len(unused) > 1:
+        batch, unused = unused[:4], unused[4:]
+        unused.append(
+            g.gate(GateType.XOR if style == "data" else GateType.OR, batch)
+            if len(batch) > 1 else batch[0]
+        )
+    if unused:
+        po_sources[-1] = g.gate(GateType.OR, [po_sources[-1], unused[0]])
+
+    for net in po_sources:
+        if net in g.c.outputs:
+            net = g.gate(GateType.BUF, [net])  # keep PO count exact
+        g.c.add_output(net)
+    return check(g.c)
+
+
+def _split_budget(total: int, parts: int, rng: random.Random) -> List[int]:
+    """Split ``total`` into ``parts`` positive-ish random chunks."""
+    if parts <= 0:
+        return []
+    weights = [rng.random() + 0.2 for _ in range(parts)]
+    scale = total / sum(weights)
+    sizes = [max(1, int(w * scale)) for w in weights]
+    return sizes

@@ -1,0 +1,38 @@
+"""The ISCAS89 s27 benchmark circuit, embedded as ``.bench`` text.
+
+s27 is the one ISCAS89 netlist small enough to be public knowledge in full
+(it appears in textbooks and the benchmark documentation): 4 primary
+inputs, 1 primary output, 3 flip-flops, 10 gates.
+"""
+
+from __future__ import annotations
+
+from ..circuit.bench import parse_bench
+from ..circuit.netlist import Circuit
+
+S27_BENCH = """\
+# s27 — ISCAS89 sequential benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def s27() -> Circuit:
+    """Build a fresh :class:`~repro.circuit.Circuit` for s27."""
+    return parse_bench(S27_BENCH, name="s27")

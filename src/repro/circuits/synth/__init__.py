@@ -1,0 +1,8 @@
+"""Gate-level synthesis of the paper's Table III circuits."""
+
+from .am2910 import am2910
+from .div16 import div16
+from .mult16 import mult16
+from .pcont2 import pcont2
+
+__all__ = ["am2910", "div16", "mult16", "pcont2"]

@@ -1,0 +1,134 @@
+"""12-bit microprogram sequencer modelled on the AMD Am2910.
+
+The paper's Am2910 circuit is "a 12-bit microprogram sequencer similar to
+the one described in [the AMD data book]".  This implementation follows
+the classic architecture: a microprogram counter (uPC), a register/counter
+(R), a five-deep subroutine/loop stack, and a next-address mux selecting
+among uPC, the direct input D, the register R, and the stack top, decoded
+from a 4-bit instruction.  The stack is the common shift-register
+realisation (push shifts down, pop shifts up) plus a depth counter for the
+FULL flag.
+
+All sixteen instructions are implemented with their conventional
+behaviour (JZ, CJS, JMAP, CJP, PUSH, JSRP, CJV, JRP, RFCT, RPCT, CRTN,
+CJPP, LDCT, LOOP, CONT, TWB); ``cc`` is the already-polarised
+condition-pass signal (the CCEN/CC input network of the real part).
+
+Interface::
+
+    inputs : instr[4], d[12], cc
+    outputs: y[12], pl, map, vect, full
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...circuit.netlist import Circuit
+from ...rtl.builder import Bus, RtlBuilder
+
+#: Instruction opcodes, per the Am2910 data sheet ordering.
+JZ, CJS, JMAP, CJP, PUSH, JSRP, CJV, JRP = range(8)
+RFCT, RPCT, CRTN, CJPP, LDCT, LOOP, CONT, TWB = range(8, 16)
+
+STACK_DEPTH = 5
+
+
+def am2910(width: int = 12, name: str = "am2910") -> Circuit:
+    """Build the microprogram sequencer (parameterised address width)."""
+    b = RtlBuilder(name)
+    instr = b.input_bus("instr", 4)
+    d = b.input_bus("d", width)
+    cc = b.input_bit("cc")
+
+    upc = b.register_loop(width, "upc")
+    r = b.register_loop(width, "r")
+    stack = [b.register_loop(width, f"stk{i}") for i in range(STACK_DEPTH)]
+    depth = b.register_loop(3, "depth")
+
+    op = b.decoder(instr)  # one-hot, op[JZ] .. op[TWB]
+    ncc = b.not_(cc)
+    r_zero = b.is_zero(r.q)
+    r_nonzero = b.not_(r_zero)
+    top = stack[0].q
+
+    zero_bus = b.const_bus(0, width)
+
+    # ------------------------------------------------------------------
+    # next-address (Y) selection per instruction
+    # ------------------------------------------------------------------
+    def pick(cond: str, when_true: Bus, when_false: Bus) -> Bus:
+        return b.mux2(cond, when_false, when_true)
+
+    y_options: List[Bus] = [
+        zero_bus,                      # JZ
+        pick(cc, d, upc.q),            # CJS: jump subroutine if pass
+        d,                             # JMAP
+        pick(cc, d, upc.q),            # CJP
+        upc.q,                         # PUSH
+        pick(cc, d, r.q),              # JSRP
+        pick(cc, d, upc.q),            # CJV
+        pick(cc, d, r.q),              # JRP
+        pick(r_nonzero, top, upc.q),   # RFCT: loop from stack while R != 0
+        pick(r_nonzero, d, upc.q),     # RPCT
+        pick(cc, top, upc.q),          # CRTN: return if pass
+        pick(cc, d, upc.q),            # CJPP
+        upc.q,                         # LDCT
+        pick(cc, upc.q, top),          # LOOP: exit loop if pass
+        upc.q,                         # CONT
+        pick(cc, upc.q, pick(r_nonzero, top, d)),  # TWB
+    ]
+    y = b.onehot_mux(op, y_options)
+    upc.drive(b.inc(y))
+
+    # ------------------------------------------------------------------
+    # stack push/pop control
+    # ------------------------------------------------------------------
+    push = b.or_(
+        b.and_(op[CJS], cc),
+        op[PUSH],
+        op[JSRP],
+    )
+    pop = b.or_(
+        b.and_(op[RFCT], r_zero),
+        b.and_(op[CRTN], cc),
+        b.and_(op[CJPP], cc),
+        b.and_(op[LOOP], cc),
+        b.and_(op[TWB], b.or_(cc, r_zero)),
+    )
+    clear = op[JZ]
+
+    # shift-register stack: push shifts down (top = stack[0]), pop shifts up
+    for i, cell in enumerate(stack):
+        pushed = upc.q if i == 0 else stack[i - 1].q
+        popped = stack[i + 1].q if i + 1 < STACK_DEPTH else zero_bus
+        nxt = b.mux2(push, b.mux2(pop, cell.q, popped), pushed)
+        cell.drive(b.mux2(clear, nxt, zero_bus))
+
+    depth_up = b.and_(push, b.not_(b.and_(depth.q[0], depth.q[2])))  # < 5
+    depth_down = b.and_(pop, b.not_(b.is_zero(depth.q)))
+    d_next = b.mux2(depth_up, b.mux2(depth_down, depth.q, b.dec(depth.q)),
+                    b.inc(depth.q))
+    depth.drive(b.mux2(clear, d_next, b.const_bus(0, 3)))
+
+    # ------------------------------------------------------------------
+    # register/counter R
+    # ------------------------------------------------------------------
+    load_r = b.or_(op[LDCT], b.and_(op[PUSH], cc))
+    dec_r = b.and_(
+        r_nonzero,
+        b.or_(op[RFCT], op[RPCT], b.and_(op[TWB], ncc)),
+    )
+    r_next = b.mux2(load_r, b.mux2(dec_r, r.q, b.dec(r.q)), d)
+    r.drive(r_next)
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    b.output_bus(y, "y")
+    b.output_bit(b.nor_(op[JMAP], op[CJV]))        # PL_: pipeline enable
+    b.output_bit(op[JMAP])                         # MAP enable
+    b.output_bit(op[CJV])                          # VECT enable
+    full = b.and_(depth.q[0], depth.q[2])          # depth == 5 (0b101)
+    b.output_bit(full)
+    return b.build()

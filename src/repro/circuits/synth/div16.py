@@ -1,0 +1,54 @@
+"""16-bit divider by repeated subtraction (the paper's ``div`` circuit).
+
+The paper describes ``div`` as "a 16-bit divider which uses repeated
+subtraction to perform division".  This implementation latches the
+dividend into a remainder register and the divisor into a divisor
+register on ``start``; while the remainder is at least the divisor (and
+the divisor is non-zero), it subtracts and increments the quotient, then
+drops ``busy``.
+
+Interface::
+
+    inputs : start, dividend[16], divisor[16]
+    outputs: quotient[16], remainder[16], done, div_by_zero
+"""
+
+from __future__ import annotations
+
+from ...circuit.netlist import Circuit
+from ...rtl.builder import RtlBuilder
+
+
+def div16(width: int = 16, name: str = "div") -> Circuit:
+    """Build the repeated-subtraction divider (parameterised width)."""
+    b = RtlBuilder(name)
+    start = b.input_bit("start")
+    dividend = b.input_bus("dividend", width)
+    divisor = b.input_bus("divisor", width)
+
+    rem = b.register_loop(width, "rem")
+    quo = b.register_loop(width, "quo")
+    dreg = b.register_loop(width, "dvr")
+    busy = b.register_loop(1, "busy")
+
+    diff, geq = b.sub(rem.q, dreg.q)  # geq: no borrow, i.e. rem >= divisor
+    dzero = b.is_zero(dreg.q)
+    stepping = b.and_(busy.q[0], geq, b.not_(dzero))
+
+    # next-state muxes: start overrides everything
+    rem_step = b.mux2(stepping, rem.q, diff)
+    rem.drive(b.mux2(start, rem_step, dividend))
+
+    quo_step = b.mux2(stepping, quo.q, b.inc(quo.q))
+    quo.drive(b.mux2(start, quo_step, b.const_bus(0, width)))
+
+    dreg.drive(b.mux2(start, dreg.q, divisor))
+
+    busy_next = b.or_(start, stepping)
+    busy.drive([busy_next])
+
+    b.output_bus(quo.q, "quotient")
+    b.output_bus(rem.q, "remainder")
+    b.output_bit(b.not_(busy.q[0]))
+    b.output_bit(b.and_(dzero, busy.q[0]))
+    return b.build()

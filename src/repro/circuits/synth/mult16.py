@@ -1,0 +1,74 @@
+"""16-bit two's-complement shift-and-add multiplier (the paper's ``mult``).
+
+Booth radix-2 recoding handles two's-complement operands with the plain
+shift-and-add datapath the paper describes: every cycle inspects
+``(Q0, Q-1)`` to add, subtract, or pass the multiplicand into the
+accumulator, then arithmetically shifts the ``(A, Q, Q-1)`` triple right.
+A 5-bit cycle counter raises ``done`` after ``width`` steps.
+
+Interface::
+
+    inputs : start, multiplicand[16], multiplier[16]
+    outputs: product[32] (A high, Q low), done
+"""
+
+from __future__ import annotations
+
+from ...circuit.netlist import Circuit
+from ...rtl.builder import RtlBuilder
+
+
+def mult16(width: int = 16, name: str = "mult") -> Circuit:
+    """Build the Booth shift-and-add multiplier (parameterised width)."""
+    b = RtlBuilder(name)
+    start = b.input_bit("start")
+    mcand = b.input_bus("multiplicand", width)
+    mplier = b.input_bus("multiplier", width)
+
+    count_bits = max(1, (width).bit_length())
+    acc = b.register_loop(width, "acc")      # A: product high half
+    q = b.register_loop(width, "q")          # Q: product low half / multiplier
+    qm1 = b.register_loop(1, "qm1")          # Q(-1) Booth bit
+    m = b.register_loop(width, "m")          # multiplicand latch
+    count = b.register_loop(count_bits, "cnt")
+    busy = b.register_loop(1, "busy")
+
+    # Booth recode: (Q0, Q-1) = (0, 1) -> add M, (1, 0) -> subtract M
+    add_en = b.and_(b.not_(q.q[0]), qm1.q[0])
+    sub_en = b.and_(q.q[0], b.not_(qm1.q[0]))
+
+    summed, _c = b.add(acc.q, m.q)
+    diffed, _nb = b.sub(acc.q, m.q)
+    a_prime = b.mux2(add_en, b.mux2(sub_en, acc.q, diffed), summed)
+
+    # arithmetic right shift of (A', Q, Qm1)
+    sign = a_prime[-1]
+    a_shift = b.shift_right(a_prime, fill=sign)
+    q_shift = b.shift_right(q.q, fill=a_prime[0])
+    qm1_next = q.q[0]
+
+    target = b.const_bus(width, count_bits)
+    done = b.equals(count.q, target)
+    stepping = b.and_(busy.q[0], b.not_(done))
+
+    acc_step = b.mux2(stepping, acc.q, a_shift)
+    acc.drive(b.mux2(start, acc_step, b.const_bus(0, width)))
+
+    q_step = b.mux2(stepping, q.q, q_shift)
+    q.drive(b.mux2(start, q_step, mplier))
+
+    qm1_step = b.mux_bit(stepping, qm1.q[0], qm1_next)
+    qm1.drive([b.mux_bit(start, qm1_step, b.const0())])
+
+    m.drive(b.mux2(start, m.q, mcand))
+
+    cnt_step = b.mux2(stepping, count.q, b.inc(count.q))
+    count.drive(b.mux2(start, cnt_step, b.const_bus(0, count_bits)))
+
+    busy_next = b.or_(start, b.and_(busy.q[0], b.not_(done)))
+    busy.drive([busy_next])
+
+    b.output_bus(q.q, "product_lo")
+    b.output_bus(acc.q, "product_hi")
+    b.output_bit(b.and_(done, b.not_(busy.q[0])))
+    return b.build()

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``stats``     — print a circuit's interface/size statistics.
+``faults``    — enumerate the (collapsed) stuck-at fault list.
+``atpg``      — run GA-HITEC (or the HITEC baseline) and write the tests.
+``faultsim``  — grade an existing vector file against the fault list.
+``convert``   — translate between ``.bench`` and structural Verilog.
+``scan``      — insert a full-scan chain and write the scanned netlist.
+``diagnose``  — rank candidate faults against observed tester failures.
+
+Circuits are either ``.bench`` files or names of built-in benchmarks
+(``s27``, ``s298`` …, ``am2910``, ``div``, ``mult``, ``pcont2``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.compaction import compact_test_set
+from .analysis.coverage import evaluate_test_set
+from .analysis.diagnosis import FaultDictionary
+from .circuit.bench import load_bench, save_bench
+from .circuit.scan import insert_scan
+from .circuit.verilog import load_verilog, save_verilog
+from .circuit.netlist import Circuit
+from .circuits import ISCAS89_SPECS, iscas89
+from .circuits.synth import am2910, div16, mult16, pcont2
+from .faults.collapse import collapse_faults
+from .hybrid.driver import gahitec, hitec_baseline
+from .hybrid.passes import gahitec_schedule, hitec_schedule
+
+_SYNTH = {
+    "am2910": am2910,
+    "div": div16,
+    "mult": mult16,
+    "pcont2": pcont2,
+}
+
+
+def resolve_circuit(spec: str) -> Circuit:
+    """Load a circuit from a file path or a built-in benchmark name."""
+    if spec in _SYNTH:
+        return _SYNTH[spec]()
+    if spec in ISCAS89_SPECS:
+        return iscas89(spec)
+    if spec.endswith(".v"):
+        return load_verilog(spec)
+    return load_bench(spec)
+
+
+def _read_vectors(path: str, n_pi: int) -> List[List[int]]:
+    """Read one vector per line, characters 0/1/x in PI order."""
+    vectors = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if len(line) != n_pi:
+                raise SystemExit(
+                    f"{path}:{line_no}: expected {n_pi} bits, got {len(line)}"
+                )
+            vectors.append(
+                [2 if ch in "xX" else int(ch) for ch in line]
+            )
+    return vectors
+
+
+def _write_vectors(path: str, vectors: List[List[int]]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for vec in vectors:
+            handle.write("".join("x" if v == 2 else str(v) for v in vec) + "\n")
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    print(f"{circuit.name}:")
+    for key, value in circuit.stats().items():
+        print(f"  {key:<16s} {value}")
+    full = len(collapse_faults(circuit))
+    print(f"  {'collapsed faults':<16s} {full}")
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    for fault in collapse_faults(circuit):
+        print(fault)
+    return 0
+
+
+def cmd_atpg(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    x = args.seq_len or max(4, 4 * circuit.sequential_depth)
+    if args.baseline:
+        driver = hitec_baseline(circuit, seed=args.seed)
+        schedule = hitec_schedule(
+            num_passes=args.passes,
+            time_scale=args.time_scale,
+            backtrack_base=args.backtracks,
+        )
+    else:
+        driver = gahitec(circuit, seed=args.seed)
+        schedule = gahitec_schedule(
+            x=x,
+            num_passes=args.passes,
+            time_scale=args.time_scale,
+            backtrack_base=args.backtracks,
+        )
+    if args.prefilter:
+        proven = driver.prefilter_untestable()
+        print(f"prefilter: {len(proven)} faults proven untestable")
+    result = driver.run(schedule)
+    print(result.summary())
+    vectors = result.test_set
+    if args.compact and vectors:
+        compacted = compact_test_set(
+            circuit, vectors, list(result.detected.values())
+        )
+        print(f"compaction: {compacted.original_vectors} -> "
+              f"{compacted.compacted_vectors} vectors")
+        vectors = compacted.vectors
+    if args.output:
+        _write_vectors(args.output, vectors)
+        print(f"wrote {len(vectors)} vectors to {args.output}")
+    return 0
+
+
+def cmd_faultsim(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    vectors = _read_vectors(args.vectors, len(circuit.inputs))
+    report = evaluate_test_set(circuit, vectors)
+    print(report)
+    if args.list_undetected:
+        detected = set(report.detected)
+        for fault in collapse_faults(circuit):
+            if fault not in detected:
+                print(f"  undetected: {fault}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    if args.output.endswith(".v"):
+        save_verilog(circuit, args.output)
+    else:
+        save_bench(circuit, args.output)
+    print(f"wrote {circuit.name} to {args.output}")
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    scanned, chain = insert_scan(circuit)
+    if args.output.endswith(".v"):
+        save_verilog(scanned, args.output)
+    else:
+        save_bench(scanned, args.output)
+    print(f"inserted a {chain.length}-bit scan chain; "
+          f"wrote {scanned.name} to {args.output}")
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    vectors = _read_vectors(args.vectors, len(circuit.inputs))
+    dictionary = FaultDictionary(circuit, vectors)
+    print(f"dictionary: {len(dictionary.detected_faults)} detectable faults, "
+          f"resolution {dictionary.diagnostic_resolution():.0%}")
+    failures = []
+    with open(args.failures, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            cycle, po = line.split()
+            failures.append((int(cycle), int(po)))
+    for rank, cand in enumerate(dictionary.diagnose(failures), 1):
+        mark = "exact" if cand.exact else (
+            f"{cand.misses} unexplained / {cand.mispredicts} mispredicted"
+        )
+        names = ", ".join(str(f) for f in cand.faults)
+        print(f"  {rank}. [{mark}] {names}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GA-HITEC hybrid sequential-circuit test generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="circuit statistics")
+    p.add_argument("circuit", help=".bench file or built-in name")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("faults", help="list the collapsed fault universe")
+    p.add_argument("circuit")
+    p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("atpg", help="generate tests (GA-HITEC)")
+    p.add_argument("circuit")
+    p.add_argument("-o", "--output", help="write vectors to this file")
+    p.add_argument("--baseline", action="store_true",
+                   help="run the deterministic HITEC baseline instead")
+    p.add_argument("--passes", type=int, default=3)
+    p.add_argument("--seq-len", type=int, default=0,
+                   help="GA sequence length x (default: 4 x sequential depth)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--time-scale", type=float, default=0.05,
+                   help="fraction of the paper's per-fault time limits")
+    p.add_argument("--backtracks", type=int, default=100,
+                   help="pass-1 PODEM backtrack budget")
+    p.add_argument("--prefilter", action="store_true",
+                   help="prove untestable faults before the GA passes")
+    p.add_argument("--compact", action="store_true",
+                   help="drop test sequences that add no coverage")
+    p.set_defaults(func=cmd_atpg)
+
+    p = sub.add_parser("faultsim", help="grade a vector file")
+    p.add_argument("circuit")
+    p.add_argument("vectors", help="file with one 0/1/x vector per line")
+    p.add_argument("--list-undetected", action="store_true")
+    p.set_defaults(func=cmd_faultsim)
+
+    p = sub.add_parser("convert", help="convert between .bench and .v")
+    p.add_argument("circuit")
+    p.add_argument("output", help="target file (.bench or .v)")
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("scan", help="insert a full-scan chain")
+    p.add_argument("circuit")
+    p.add_argument("output", help="target file (.bench or .v)")
+    p.set_defaults(func=cmd_scan)
+
+    p = sub.add_parser("diagnose", help="rank faults against tester failures")
+    p.add_argument("circuit")
+    p.add_argument("vectors", help="the applied test vectors")
+    p.add_argument("failures", help="file of failing 'cycle po_index' pairs")
+    p.set_defaults(func=cmd_diagnose)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

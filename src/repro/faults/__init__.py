@@ -1,0 +1,13 @@
+"""Single stuck-at fault model, fault universes, and equivalence collapsing."""
+
+from .model import Fault, fault_site_known, full_fault_list
+from .collapse import collapse_faults, collapse_ratio, equivalence_classes
+
+__all__ = [
+    "Fault",
+    "collapse_faults",
+    "collapse_ratio",
+    "equivalence_classes",
+    "fault_site_known",
+    "full_fault_list",
+]

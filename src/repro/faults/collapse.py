@@ -1,0 +1,109 @@
+"""Structural fault-equivalence collapsing.
+
+Two faults are structurally equivalent when every test for one detects the
+other.  The classic local rules implemented here:
+
+* a controlling input value ``c`` on an AND/NAND/OR/NOR gate is equivalent
+  to the output stuck at ``c XOR inversion``;
+* BUF/NOT/DFF input faults are equivalent to the corresponding (possibly
+  inverted) output faults — the DFF case is sequential equivalence, as
+  HITEC-era tools collapse it;
+* a branch fault on a single-fanout net is identical to the stem fault
+  (we never enumerate those in the first place).
+
+Equivalence classes are built with union-find; the returned representative
+of each class is the lexicographically smallest member, so collapsing is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..circuit.gates import CONTROLLING_VALUE, INVERSION, GateType
+from ..circuit.netlist import Circuit
+from .model import Fault, full_fault_list
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict[Fault, Fault] = {}
+
+    def find(self, f: Fault) -> Fault:
+        parent = self.parent
+        parent.setdefault(f, f)
+        root = f
+        while parent[root] != root:
+            root = parent[root]
+        while parent[f] != root:  # path compression
+            parent[f], f = root, parent[f]
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # keep the smaller fault as the class root for determinism
+            lo, hi = (ra, rb) if ra < rb else (rb, ra)
+            self.parent[hi] = lo
+
+    def add(self, f: Fault) -> None:
+        self.parent.setdefault(f, f)
+
+
+def _input_fault(circuit: Circuit, gate_out: str, pin: int, stuck: int) -> Fault:
+    """The fault object seen at one gate input pin.
+
+    On a net with a single observation point the pin fault *is* the stem
+    fault; with multiple observation points (fanout > 1, or a primary
+    output that is also read by a gate) it is the branch fault.
+    """
+    src = circuit.gates[gate_out].inputs[pin]
+    observers = len(circuit.fanout[src]) + (1 if src in circuit.outputs else 0)
+    if observers <= 1:
+        return Fault(src, stuck)
+    return Fault(src, stuck, gate=gate_out, pin=pin)
+
+
+def equivalence_classes(circuit: Circuit) -> Dict[Fault, Fault]:
+    """Map every fault in the full universe to its class representative."""
+    uf = _UnionFind()
+    for f in full_fault_list(circuit):
+        uf.add(f)
+
+    for g in circuit.gates.values():
+        gtype = g.gtype
+        if gtype in (GateType.BUF, GateType.NOT, GateType.DFF):
+            inv = INVERSION[gtype]
+            for stuck in (0, 1):
+                fin = _input_fault(circuit, g.output, 0, stuck)
+                fout = Fault(g.output, stuck ^ inv)
+                uf.add(fin)
+                uf.union(fin, fout)
+            continue
+        ctrl = CONTROLLING_VALUE.get(gtype)
+        if ctrl is None:
+            continue  # XOR/XNOR/constants: no local equivalence
+        inv = INVERSION[gtype]
+        fout = Fault(g.output, ctrl ^ inv)
+        for pin in range(len(g.inputs)):
+            fin = _input_fault(circuit, g.output, pin, ctrl)
+            uf.add(fin)
+            uf.union(fin, fout)
+
+    return {f: uf.find(f) for f in list(uf.parent)}
+
+
+def collapse_faults(circuit: Circuit) -> List[Fault]:
+    """Return one representative fault per structural equivalence class.
+
+    The list is sorted, so downstream fault-list processing is reproducible
+    run to run.
+    """
+    mapping = equivalence_classes(circuit)
+    return sorted(set(mapping.values()))
+
+
+def collapse_ratio(circuit: Circuit) -> Tuple[int, int]:
+    """Return ``(full_universe_size, collapsed_size)`` for reporting."""
+    full = full_fault_list(circuit)
+    return len(full), len(collapse_faults(circuit))

@@ -1,0 +1,85 @@
+"""Single stuck-at fault model.
+
+A fault sits either on a net itself (a *stem* fault, affecting every
+reader) or on one gate's input pin (a *branch* fault on a fanout stem,
+affecting only that gate).  Branch faults are enumerated only where the
+source net actually fans out to more than one reader; on single-fanout
+nets the branch is structurally identical to the stem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..circuit.netlist import Circuit
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """A single stuck-at fault.
+
+    Attributes:
+        net: the net the fault value rides on.
+        stuck: the stuck logic value, 0 or 1.
+        gate: output net of the reading gate for a branch fault
+            (empty string for a stem fault).
+        pin: input pin index on that gate (-1 for a stem fault).
+    """
+
+    net: str
+    stuck: int
+    gate: str = ""
+    pin: int = -1
+
+    def __post_init__(self) -> None:
+        if self.stuck not in (0, 1):
+            raise ValueError(f"stuck value must be 0 or 1, got {self.stuck!r}")
+
+    @property
+    def is_branch(self) -> bool:
+        """True for a fault on a specific gate input pin."""
+        return bool(self.gate)
+
+    def __str__(self) -> str:
+        site = f"{self.net}->{self.gate}.{self.pin}" if self.is_branch else self.net
+        return f"{site} s-a-{self.stuck}"
+
+
+def full_fault_list(circuit: Circuit) -> List[Fault]:
+    """Enumerate the uncollapsed stuck-at fault universe of a circuit.
+
+    Two stem faults per net, plus two branch faults per gate input pin
+    whose source net has more than one observation point — either fanout
+    greater than one, or fanout of one on a net that is *also* a primary
+    output (the PO observes the stem directly, so the branch into the gate
+    is a distinct fault).  The list order is deterministic: nets in
+    declaration order, stems before branches.
+    """
+    faults: List[Fault] = []
+    fanout = circuit.fanout
+    po_set = set(circuit.outputs)
+    for net in circuit.nets:
+        faults.append(Fault(net, 0))
+        faults.append(Fault(net, 1))
+    for net in circuit.nets:
+        readers = fanout[net]
+        if len(readers) + (1 if net in po_set else 0) <= 1:
+            continue
+        for gate_out, pin in readers:
+            faults.append(Fault(net, 0, gate=gate_out, pin=pin))
+            faults.append(Fault(net, 1, gate=gate_out, pin=pin))
+    return faults
+
+
+def fault_site_known(circuit: Circuit, fault: Fault) -> bool:
+    """Check that the fault references real structure (for input validation)."""
+    if fault.net not in circuit.inputs and fault.net not in circuit.gates:
+        return False
+    if fault.is_branch:
+        g = circuit.gates.get(fault.gate)
+        if g is None or fault.pin < 0 or fault.pin >= len(g.inputs):
+            return False
+        if g.inputs[fault.pin] != fault.net:
+            return False
+    return True

@@ -1,0 +1,32 @@
+"""Genetic algorithm engine and GA state justification."""
+
+from .engine import (
+    GAParams,
+    GAResult,
+    GeneticAlgorithm,
+    TournamentSelector,
+    mutate,
+    uniform_crossover,
+)
+from .atpg import GAAtpgParams, GASimulationTestGenerator
+from .justification import (
+    FAULTY_WEIGHT,
+    GOOD_WEIGHT,
+    GAJustifyParams,
+    GAStateJustifier,
+)
+
+__all__ = [
+    "FAULTY_WEIGHT",
+    "GAAtpgParams",
+    "GASimulationTestGenerator",
+    "GAJustifyParams",
+    "GAParams",
+    "GAResult",
+    "GAStateJustifier",
+    "GOOD_WEIGHT",
+    "GeneticAlgorithm",
+    "TournamentSelector",
+    "mutate",
+    "uniform_crossover",
+]

@@ -1,0 +1,306 @@
+"""Genetic state justification (Section IV of the paper).
+
+Each GA individual encodes a candidate input sequence: ``seq_len`` vectors
+of ``n_pi`` bits laid out contiguously along the binary string (vector 0
+in the lowest bits).  A whole population slice is simulated at once —
+individual ``i`` rides bit slot ``i`` of the packed simulator words — for
+both the good circuit (starting from the *current* good state, the state
+reached after all previously generated tests) and the faulty circuit
+(starting all-unknown, as the paper prescribes, with the target fault
+injected in every slot).
+
+The state is compared against the requirement after **every** vector, so a
+successful sequence may be shorter than the coded length.  When no
+individual matches, fitness drives evolution toward the target:
+
+    fitness = 9/10 · (# matching flip-flops, good circuit)
+            + 1/10 · (# matching flip-flops, faulty circuit)
+
+A flip-flop matches when the requirement is a don't-care or the values are
+equal; a full match in both circuits scores exactly ``n_ff``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..atpg.constraints import InputConstraints, UNCONSTRAINED
+from ..atpg.justify import JustifyResult, JustifyStatus
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..simulation.compiled import CompiledCircuit, compile_circuit
+from ..simulation.encoding import X, full_mask, pack, pack_const
+from ..simulation.fault_sim import injection_for
+from ..simulation.logic_sim import FrameSimulator
+from .engine import GAParams, GeneticAlgorithm
+
+#: Fitness weights for the good and faulty circuit goals (paper: 9/10, 1/10).
+GOOD_WEIGHT = 0.9
+FAULTY_WEIGHT = 0.1
+
+
+@dataclass
+class GAJustifyParams:
+    """Knobs for one GA justification attempt.
+
+    Attributes:
+        population_size: individuals per generation (pass 1: 64, pass 2: 128).
+        generations: evolution budget (pass 1: 4, pass 2: 8).
+        seq_len: coded sequence length in vectors (a multiple of the
+            circuit's sequential depth, per the paper).
+        word_width: simulation slots per batch.
+        good_weight / faulty_weight: fitness weights (ablation knob).
+    """
+
+    population_size: int = 64
+    generations: int = 4
+    seq_len: int = 8
+    word_width: int = 64
+    good_weight: float = GOOD_WEIGHT
+    faulty_weight: float = FAULTY_WEIGHT
+
+
+class GAStateJustifier:
+    """Evolves input sequences that drive the circuit into a required state.
+
+    Args:
+        circuit: circuit or compiled form.
+        rng: random source shared across attempts (seed for reproducibility).
+    """
+
+    def __init__(
+        self,
+        circuit: "Circuit | CompiledCircuit",
+        rng: Optional[random.Random] = None,
+        constraints: Optional[InputConstraints] = None,
+    ):
+        self.cc = (
+            circuit
+            if isinstance(circuit, CompiledCircuit)
+            else compile_circuit(circuit)
+        )
+        self.rng = rng or random.Random()
+        self.n_pi = len(self.cc.pi)
+        self.n_ff = len(self.cc.ff_out)
+        self.constraints = constraints or UNCONSTRAINED
+        # pin categories for constrained sequence decoding
+        name_of = {i: self.cc.net_names[idx] for i, idx in enumerate(self.cc.pi)}
+        self._fixed_pins: Dict[int, int] = {
+            pin: self.constraints.fixed[name_of[pin]]
+            for pin in range(self.n_pi)
+            if name_of[pin] in self.constraints.fixed
+        }
+        self._hold_pins = {
+            pin for pin in range(self.n_pi)
+            if name_of[pin] in self.constraints.hold
+        }
+
+    # ------------------------------------------------------------------
+    def justify(
+        self,
+        required_good: Dict[str, int],
+        params: GAJustifyParams,
+        fault: Optional[Fault] = None,
+        required_faulty: Optional[Dict[str, int]] = None,
+        current_good_state: Optional[Sequence[int]] = None,
+    ) -> JustifyResult:
+        """Search for a sequence that justifies the required state.
+
+        Args:
+            required_good: cared good-circuit flip-flop values {net: 0/1}.
+            params: GA parameters for this attempt.
+            fault: target fault, injected during faulty-circuit simulation.
+            required_faulty: cared faulty-circuit values (defaults to the
+                good requirement, matching the hybrid engine's frame-0
+                assignments).
+            current_good_state: good-circuit starting state (scalars in
+                flip-flop order); defaults to all-X.
+
+        Returns:
+            A :class:`~repro.atpg.justify.JustifyResult`; on success its
+            vectors justify the state starting from ``current_good_state``.
+            Failure status is always ``BOUNDED`` — a GA can never prove
+            unjustifiability.
+        """
+        required_faulty = (
+            required_faulty if required_faulty is not None else dict(required_good)
+        )
+        start_good = (
+            list(current_good_state)
+            if current_good_state is not None
+            else [X] * self.n_ff
+        )
+
+        # The paper checks before searching: if the current good state
+        # already satisfies the requirement and the all-unknown faulty
+        # state does too (i.e. no cared faulty bits), nothing to justify.
+        if self._state_matches(required_good, start_good) and not required_faulty:
+            return JustifyResult(JustifyStatus.JUSTIFIED, [])
+
+        n_bits = max(1, params.seq_len * self.n_pi)
+        evaluator = _SequenceEvaluator(
+            self, params, fault, required_good, required_faulty, start_good
+        )
+        ga: GeneticAlgorithm = GeneticAlgorithm(
+            n_bits,
+            GAParams(
+                population_size=params.population_size,
+                generations=params.generations,
+            ),
+            evaluator.evaluate,
+            rng=self.rng,
+        )
+        result = ga.run()
+        if result.payload is not None:
+            return JustifyResult(JustifyStatus.JUSTIFIED, result.payload)
+        return JustifyResult(JustifyStatus.BOUNDED)
+
+    # ------------------------------------------------------------------
+    def _state_matches(
+        self, required: Dict[str, int], state: Sequence[int]
+    ) -> bool:
+        for name, want in required.items():
+            pos = self.cc.ff_out.index(self.cc.index[name])
+            if state[pos] != want:
+                return False
+        return True
+
+    def decode(self, genome: int, seq_len: int, n_vectors: int) -> List[List[int]]:
+        """Decode the first ``n_vectors`` vectors of a genome.
+
+        Constraints are applied by construction: fixed pins always decode
+        to their constant, hold pins reuse their vector-0 bit in every
+        later vector, so every candidate the GA evaluates (and every
+        sequence it returns) satisfies the environment by design — the
+        forward-only advantage Section VI of the paper highlights.
+        """
+        vectors = []
+        for v in range(n_vectors):
+            base = v * self.n_pi
+            vec = []
+            for j in range(self.n_pi):
+                if j in self._fixed_pins:
+                    vec.append(self._fixed_pins[j])
+                elif j in self._hold_pins:
+                    vec.append((genome >> j) & 1)  # vector-0 bit
+                else:
+                    vec.append((genome >> (base + j)) & 1)
+            vectors.append(vec)
+        return vectors
+
+
+class _SequenceEvaluator:
+    """Bit-parallel fitness evaluation of one population."""
+
+    def __init__(
+        self,
+        justifier: GAStateJustifier,
+        params: GAJustifyParams,
+        fault: Optional[Fault],
+        required_good: Dict[str, int],
+        required_faulty: Dict[str, int],
+        start_good: Sequence[int],
+    ):
+        self.j = justifier
+        self.params = params
+        self.fault = fault
+        self.start_good = start_good
+        cc = justifier.cc
+        # per-flip-flop requirement scalars, in flip-flop order (X = don't care)
+        self.req_good = [X] * justifier.n_ff
+        for name, val in required_good.items():
+            self.req_good[cc.ff_out.index(cc.index[name])] = val
+        self.req_faulty = [X] * justifier.n_ff
+        for name, val in required_faulty.items():
+            self.req_faulty[cc.ff_out.index(cc.index[name])] = val
+
+    def evaluate(
+        self, genomes: Sequence[int]
+    ) -> Tuple[List[float], Optional[List[List[int]]]]:
+        """Score every genome; return a justifying sequence if one appears."""
+        fitnesses: List[float] = []
+        for start in range(0, len(genomes), self.params.word_width):
+            batch = genomes[start : start + self.params.word_width]
+            scores, payload = self._evaluate_batch(batch)
+            if payload is not None:
+                fitnesses.extend(scores)
+                fitnesses.extend([0.0] * (len(genomes) - len(fitnesses)))
+                return fitnesses, payload
+            fitnesses.extend(scores)
+        return fitnesses, None
+
+    # ------------------------------------------------------------------
+    def _evaluate_batch(
+        self, batch: Sequence[int]
+    ) -> Tuple[List[float], Optional[List[List[int]]]]:
+        j = self.j
+        cc = j.cc
+        w = len(batch)
+        mask = full_mask(w)
+        good_sim = FrameSimulator(cc, width=w)
+        good_sim.set_state([pack_const(v, w) for v in self.start_good])
+        injections = (
+            [injection_for(cc, self.fault, mask)] if self.fault else []
+        )
+        faulty_sim = FrameSimulator(cc, width=w, injections=injections)
+        # faulty circuit starts all-unknown (paper, Section IV-A)
+
+        seq_len = max(1, self.params.seq_len)
+        n_pi = j.n_pi
+        fixed = j._fixed_pins
+        hold = j._hold_pins
+        for v in range(seq_len):
+            vector = []
+            base = v * n_pi
+            for pin in range(n_pi):
+                if pin in fixed:
+                    vector.append(pack_const(fixed[pin], w))
+                    continue
+                bit = pin if pin in hold else base + pin
+                p1 = 0
+                for slot, genome in enumerate(batch):
+                    p1 |= ((genome >> bit) & 1) << slot
+                vector.append((p1, (~p1) & mask))
+            good_sim.step(vector)
+            faulty_sim.step(vector)
+            good_match = self._match_counts(good_sim.get_state(), self.req_good, w)
+            faulty_match = self._match_counts(
+                faulty_sim.get_state(), self.req_faulty, w
+            )
+            for slot in range(w):
+                if (
+                    good_match[slot] == j.n_ff
+                    and faulty_match[slot] == j.n_ff
+                ):
+                    return (
+                        [0.0] * w,
+                        j.decode(batch[slot], seq_len, v + 1),
+                    )
+        fitnesses = [
+            self.params.good_weight * good_match[slot]
+            + self.params.faulty_weight * faulty_match[slot]
+            for slot in range(w)
+        ]
+        return fitnesses, None
+
+    @staticmethod
+    def _match_counts(
+        state: Sequence[Tuple[int, int]], required: Sequence[int], w: int
+    ) -> List[int]:
+        """Per-slot count of flip-flops satisfying the requirement."""
+        counts = [0] * w
+        for (p1, p0), want in zip(state, required):
+            if want == X:
+                for slot in range(w):
+                    counts[slot] += 1
+                continue
+            if want == 1:
+                ok = p1 & ~p0
+            else:
+                ok = p0 & ~p1
+            for slot in range(w):
+                if ok & (1 << slot):
+                    counts[slot] += 1
+        return counts

@@ -1,0 +1,25 @@
+"""Multi-pass hybrid test generation: GA-HITEC and the HITEC baseline."""
+
+from .passes import (
+    DETERMINISTIC,
+    GA,
+    PassConfig,
+    gahitec_schedule,
+    hitec_schedule,
+)
+from .results import PassStats, RunResult, format_time
+from .driver import HybridTestGenerator, gahitec, hitec_baseline
+
+__all__ = [
+    "DETERMINISTIC",
+    "GA",
+    "HybridTestGenerator",
+    "PassConfig",
+    "PassStats",
+    "RunResult",
+    "format_time",
+    "gahitec",
+    "gahitec_schedule",
+    "hitec_baseline",
+    "hitec_schedule",
+]

@@ -1,0 +1,313 @@
+"""Multi-pass test-generation drivers: GA-HITEC and the HITEC baseline.
+
+:class:`HybridTestGenerator` implements the paper's overall flow: make
+passes through the (collapsed) fault list per a schedule from
+:mod:`repro.hybrid.passes`; in each pass, target every remaining fault
+individually with deterministic excitation/propagation and the pass's
+justifier; validate each candidate sequence by fault simulation before
+accepting it; after every accepted test, fault-simulate the remaining
+faults over the new vectors to credit incidental detections (faults are
+dropped once detected, as in the paper).
+
+The GA justifier starts from the *current* good-circuit state — the state
+reached after all previously accepted tests — which is one of the paper's
+key advantages over HITEC's always-from-unknown justification.
+:func:`hitec_baseline` builds the same driver with deterministic-only
+justification.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..atpg.hitec import (
+    SequentialTestGenerator,
+    TestGenStatus,
+)
+from ..atpg.constraints import InputConstraints, UNCONSTRAINED
+from ..atpg.justify import JustifyResult, justify_state
+from ..atpg.podem import Limits
+from ..atpg.scoap import compute_testability
+from ..circuit.netlist import Circuit
+from ..faults.collapse import collapse_faults
+from ..faults.model import Fault
+from ..ga.justification import GAJustifyParams, GAStateJustifier
+from ..simulation.compiled import compile_circuit
+from ..simulation.encoding import X
+from ..simulation.fault_sim import FaultSimulator
+from .passes import DETERMINISTIC, GA, PassConfig
+from .results import PassStats, RunResult
+
+
+class HybridTestGenerator:
+    """Multi-pass sequential ATPG driver (GA-HITEC when given GA passes).
+
+    Args:
+        circuit: the circuit under test.
+        seed: seed for every stochastic choice (GA populations, X-fill),
+            making runs reproducible.
+        width: simulator word width (faults per fault-sim pass, GA slots).
+        max_frames: forward propagation window bound; defaults to
+            ``2 * sequential_depth + 2`` clamped to [4, 16].
+        max_solutions: propagation alternatives offered per fault.
+        faults: explicit target fault list (defaults to the collapsed
+            universe).
+        generator_name: label recorded in results.
+        use_current_state: when True (the paper's GA-HITEC behaviour), the
+            GA justifier starts from the good-circuit state reached after
+            all previously accepted tests; when False it starts from the
+            all-unknown state like HITEC's justification (ablation knob).
+        constraints: environment-imposed input constraints every generated
+            vector must satisfy (Section VI of the paper); enforced during
+            search, during don't-care fill, and re-checked at validation.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        seed: int = 0,
+        width: int = 64,
+        max_frames: Optional[int] = None,
+        max_solutions: int = 8,
+        faults: Optional[Sequence[Fault]] = None,
+        generator_name: str = "GA-HITEC",
+        use_current_state: bool = True,
+        constraints: Optional[InputConstraints] = None,
+    ):
+        self.circuit = circuit
+        self.cc = compile_circuit(circuit)
+        self.rng = random.Random(seed)
+        self.width = width
+        if max_frames is None:
+            max_frames = min(16, max(4, 2 * circuit.sequential_depth + 2))
+        self.max_frames = max_frames
+        self.meas = compute_testability(self.cc)
+        self.constraints = constraints or UNCONSTRAINED
+        self.constraints.validate(circuit)
+        active_constraints = (
+            None if self.constraints.is_trivial else self.constraints
+        )
+        self.seqgen = SequentialTestGenerator(
+            self.cc,
+            max_frames=max_frames,
+            max_solutions=max_solutions,
+            testability=self.meas,
+            constraints=active_constraints,
+        )
+        self.fault_sim = FaultSimulator(self.cc, width=width)
+        self.ga_justifier = GAStateJustifier(
+            self.cc, rng=self.rng, constraints=active_constraints
+        )
+        self.generator_name = generator_name
+        self.use_current_state = use_current_state
+
+        self.all_faults: List[Fault] = (
+            list(faults) if faults is not None else collapse_faults(circuit)
+        )
+        # mutable run state
+        self.remaining: List[Fault] = []
+        self.detected: Dict[Fault, int] = {}
+        self.untestable: List[Fault] = []
+        self.test_set: List[List[int]] = []
+        self.blocks: List[int] = []
+        self.good_state: List[int] = [X] * len(self.cc.ff_out)
+        self.fault_states: Dict[Fault, List[int]] = {}
+        #: faults proven untestable by :meth:`prefilter_untestable`
+        self.prefiltered_untestable: List[Fault] = []
+
+    # ------------------------------------------------------------------
+    def prefilter_untestable(
+        self, max_backtracks: int = 500, time_limit: Optional[float] = None
+    ) -> List[Fault]:
+        """Prove combinationally redundant faults untestable up front.
+
+        Runs the deterministic excitation/propagation phase with a
+        justifier that always refuses, so only faults whose search space
+        exhausts without any state requirement are removed — the
+        preprocessing step Section VI of the paper recommends to stop the
+        GA passes wasting time on untestable faults.  Returns the proven
+        faults and removes them from the target list.
+        """
+        def refuse(_required: Dict[str, int]) -> JustifyResult:
+            from ..atpg.justify import JustifyStatus
+
+            return JustifyResult(JustifyStatus.BOUNDED)
+
+        deadline = time.monotonic() + time_limit if time_limit else None
+        proven: List[Fault] = []
+        kept: List[Fault] = []
+        for fault in self.all_faults:
+            limits = Limits(max_backtracks=max_backtracks, deadline=deadline)
+            res = self.seqgen.generate(fault, refuse, limits)
+            if res.status is TestGenStatus.UNTESTABLE:
+                proven.append(fault)
+            else:
+                kept.append(fault)
+        self.all_faults = kept
+        self.prefiltered_untestable = proven
+        return proven
+
+    # ------------------------------------------------------------------
+    def run(self, schedule: Sequence[PassConfig]) -> RunResult:
+        """Execute the whole schedule and return per-pass statistics."""
+        result = RunResult(
+            circuit_name=self.circuit.name,
+            generator=self.generator_name,
+            total_faults=len(self.all_faults),
+        )
+        self.remaining = list(self.all_faults)
+        self.detected = {}
+        self.untestable = []
+        self.test_set = []
+        self.blocks = []
+        self.good_state = [X] * len(self.cc.ff_out)
+        self.fault_states = {}
+
+        elapsed = 0.0
+        for cfg in schedule:
+            start = time.monotonic()
+            stats = self.run_pass(cfg)
+            elapsed += time.monotonic() - start
+            stats.detected = len(self.detected)
+            stats.vectors = len(self.test_set)
+            stats.untestable = len(self.untestable)
+            stats.time_s = elapsed
+            result.passes.append(stats)
+
+        result.test_set = list(self.test_set)
+        result.detected = dict(self.detected)
+        result.untestable = list(self.untestable)
+        result.blocks = list(self.blocks)
+        return result
+
+    # ------------------------------------------------------------------
+    def run_pass(self, cfg: PassConfig) -> PassStats:
+        """Make one pass through the remaining fault list."""
+        stats = PassStats(number=cfg.number, approach=cfg.justification)
+        before = len(self.detected)
+        for fault in list(self.remaining):
+            if fault in self.detected:
+                continue  # dropped incidentally earlier in this pass
+            stats.targeted += 1
+            self._target_fault(fault, cfg, stats)
+        stats.detected_new = len(self.detected) - before
+        return stats
+
+    def _target_fault(self, fault: Fault, cfg: PassConfig, stats: PassStats) -> None:
+        deadline = (
+            time.monotonic() + cfg.time_limit if cfg.time_limit is not None else None
+        )
+        limits = Limits(max_backtracks=cfg.max_backtracks, deadline=deadline)
+        justifier = self._make_justifier(fault, cfg, limits)
+        result = self.seqgen.generate(
+            fault,
+            justifier,
+            limits,
+            start_good_state=list(self.good_state),
+            start_fault_state=self.fault_states.get(fault),
+        )
+
+        if result.status is TestGenStatus.DETECTED:
+            sequence = [self._fill_x(vec) for vec in result.sequence]
+            if not self.constraints.is_trivial:
+                self.constraints.apply_to_vectors(self.circuit, sequence)
+            if self._validate_and_commit(fault, sequence):
+                if cfg.justification == GA and result.justification_frames:
+                    stats.ga_justified += 1
+                elif result.justification_frames:
+                    stats.det_justified += 1
+                return
+            stats.aborted += 1
+            stats.validation_failures += 1
+            return
+        if result.status is TestGenStatus.UNTESTABLE:
+            self.untestable.append(fault)
+            self.remaining.remove(fault)
+            return
+        stats.aborted += 1
+
+    # ------------------------------------------------------------------
+    def _make_justifier(
+        self, fault: Fault, cfg: PassConfig, limits: Limits
+    ) -> Callable[[Dict[str, int]], JustifyResult]:
+        if cfg.justification == GA:
+            params = GAJustifyParams(
+                population_size=cfg.population_size,
+                generations=cfg.generations,
+                seq_len=cfg.seq_len,
+                word_width=self.width,
+            )
+
+            def ga_justify(required: Dict[str, int]) -> JustifyResult:
+                start = self.good_state if self.use_current_state else None
+                return self.ga_justifier.justify(
+                    required,
+                    params,
+                    fault=fault,
+                    current_good_state=start,
+                )
+
+            return ga_justify
+
+        def det_justify(required: Dict[str, int]) -> JustifyResult:
+            return justify_state(
+                self.cc,
+                required,
+                max_depth=cfg.justify_depth,
+                limits=limits,
+                testability=self.meas,
+                constraints=(
+                    None if self.constraints.is_trivial else self.constraints
+                ),
+            )
+
+        return det_justify
+
+    def _fill_x(self, vector: Sequence[int]) -> List[int]:
+        """Replace don't-cares with random bits (reproducible via the seed)."""
+        return [self.rng.getrandbits(1) if v == X else v for v in vector]
+
+    def _validate_and_commit(self, target: Fault, sequence: List[List[int]]) -> bool:
+        """Fault-simulate the candidate; commit only if the target drops.
+
+        The candidate is applied from the current good state.  On success,
+        every remaining fault is credited with any incidental detection and
+        per-fault faulty states roll forward; on failure nothing changes.
+        """
+        trial_states = {f: list(s) for f, s in self.fault_states.items()}
+        sim = self.fault_sim.run(
+            sequence,
+            self.remaining,
+            good_state=self.good_state,
+            fault_states=trial_states,
+        )
+        if target not in sim.detected:
+            return False
+        base = len(self.test_set)
+        self.blocks.append(base)
+        self.test_set.extend(sequence)
+        self.good_state = sim.good_state
+        self.fault_states = {
+            f: s for f, s in trial_states.items() if f not in sim.detected
+        }
+        for fault in sim.detected:
+            self.detected[fault] = base
+        self.remaining = [f for f in self.remaining if f not in sim.detected]
+        return True
+
+
+def gahitec(circuit: Circuit, **kwargs) -> HybridTestGenerator:
+    """Construct a GA-HITEC driver (GA passes enabled via the schedule)."""
+    return HybridTestGenerator(circuit, generator_name="GA-HITEC", **kwargs)
+
+
+def hitec_baseline(circuit: Circuit, **kwargs) -> HybridTestGenerator:
+    """Construct the HITEC baseline driver.
+
+    The baseline differs from GA-HITEC only through its schedule
+    (:func:`repro.hybrid.passes.hitec_schedule`): deterministic
+    justification in every pass, always from the all-unknown state.
+    """
+    return HybridTestGenerator(circuit, generator_name="HITEC", **kwargs)

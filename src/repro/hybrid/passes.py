@@ -1,0 +1,167 @@
+"""Pass schedules (Table I of the paper).
+
+GA-HITEC makes several passes through the fault list.  Passes 1 and 2 use
+genetic state justification with a growing search space; passes 3 and
+beyond use the deterministic reverse-time justifier with a ×10 time budget
+per extra pass.  The baseline HITEC schedule is deterministic in every
+pass, with its own ×10 growth of time and backtrack limits.
+
+The paper's per-fault wall-clock limits (1 s / 10 s / 100 s) were chosen
+for a 1995 SPARCstation-20 running compiled C++; a pure-Python simulator
+is orders of magnitude slower per gate event, so limits here are scaled by
+``time_scale`` (and can be disabled entirely for deterministic test runs
+by passing ``time_scale=None``) while the pass *structure* — the ×10
+ratios, the GA population/generation doubling, the sequence-length
+doubling — is preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Justification approach names.
+GA = "ga"
+DETERMINISTIC = "deterministic"
+
+#: Paper values (Table I).
+PASS1_TIME_S = 1.0
+PASS2_TIME_S = 10.0
+PASS3_TIME_S = 100.0
+PASS1_POPULATION = 64
+PASS2_POPULATION = 128
+PASS1_GENERATIONS = 4
+PASS2_GENERATIONS = 8
+TIME_GROWTH = 10.0
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """Settings for one pass through the fault list.
+
+    Attributes:
+        number: 1-based pass number.
+        justification: ``"ga"`` or ``"deterministic"``.
+        time_limit: per-fault wall-clock budget in seconds (None = none).
+        max_backtracks: per-fault PODEM backtrack budget.
+        population_size: GA population (GA passes only).
+        generations: GA generations (GA passes only).
+        seq_len: GA coded sequence length in vectors (GA passes only).
+        justify_depth: deterministic reverse-time frame bound.
+    """
+
+    number: int
+    justification: str
+    time_limit: Optional[float]
+    max_backtracks: int
+    population_size: int = PASS1_POPULATION
+    generations: int = PASS1_GENERATIONS
+    seq_len: int = 0
+    justify_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.justification not in (GA, DETERMINISTIC):
+            raise ValueError(f"unknown justification {self.justification!r}")
+        if self.justification == GA and self.seq_len < 1:
+            raise ValueError("GA passes need a positive sequence length")
+
+
+def gahitec_schedule(
+    x: int,
+    num_passes: int = 3,
+    time_scale: Optional[float] = 1.0,
+    backtrack_base: int = 200,
+    justify_depth: int = 16,
+    population_scale: int = 1,
+) -> List[PassConfig]:
+    """Build the paper's GA-HITEC schedule (Table I).
+
+    Args:
+        x: user-supplied sequence length — a multiple of the circuit's
+           sequential depth; pass 1 uses x/2, pass 2 uses x.
+        num_passes: total passes (≥ 3 adds deterministic passes ×10 each).
+        time_scale: multiplier on the paper's per-fault limits
+            (``None`` disables wall-clock limits — deterministic runs).
+        backtrack_base: pass-1 PODEM backtrack budget; grows ×4 per pass.
+        justify_depth: deterministic justification frame bound.
+        population_scale: divide populations by this (the paper uses 32
+            instead of 64/128 for s35932 — ``population_scale=2``).
+    """
+    if x < 2:
+        raise ValueError("sequence length x must be at least 2")
+
+    def limit(seconds: float) -> Optional[float]:
+        return None if time_scale is None else seconds * time_scale
+
+    pop1 = max(2, PASS1_POPULATION // population_scale)
+    pop2 = max(2, PASS2_POPULATION // population_scale)
+    schedule = [
+        PassConfig(
+            number=1,
+            justification=GA,
+            time_limit=limit(PASS1_TIME_S),
+            max_backtracks=backtrack_base,
+            population_size=pop1,
+            generations=PASS1_GENERATIONS,
+            seq_len=max(1, x // 2),
+            justify_depth=justify_depth,
+        ),
+        PassConfig(
+            number=2,
+            justification=GA,
+            time_limit=limit(PASS2_TIME_S),
+            max_backtracks=backtrack_base * 4,
+            population_size=pop2,
+            generations=PASS2_GENERATIONS,
+            seq_len=x,
+            justify_depth=justify_depth,
+        ),
+    ]
+    seconds = PASS3_TIME_S
+    backtracks = backtrack_base * 16
+    for number in range(3, num_passes + 1):
+        schedule.append(
+            PassConfig(
+                number=number,
+                justification=DETERMINISTIC,
+                time_limit=limit(seconds),
+                max_backtracks=backtracks,
+                justify_depth=justify_depth,
+            )
+        )
+        seconds *= TIME_GROWTH
+        backtracks *= 4
+    return schedule[:num_passes]
+
+
+def hitec_schedule(
+    num_passes: int = 3,
+    time_scale: Optional[float] = 1.0,
+    backtrack_base: int = 200,
+    justify_depth: int = 16,
+) -> List[PassConfig]:
+    """Build the baseline HITEC schedule.
+
+    The paper: time and backtrack limits start at 1 second / 10,000
+    backtracks and are multiplied by ten in each successive pass; state
+    justification is always deterministic, always back to the all-unknown
+    state.  Backtrack budgets here scale from ``backtrack_base`` instead
+    of 10,000 (Python gate evaluations are far slower), preserving the
+    growth structure.
+    """
+    schedule = []
+    seconds = 1.0
+    backtracks = backtrack_base
+    for number in range(1, num_passes + 1):
+        schedule.append(
+            PassConfig(
+                number=number,
+                justification=DETERMINISTIC,
+                time_limit=None if time_scale is None else seconds * time_scale,
+                max_backtracks=backtracks,
+                justify_depth=justify_depth,
+            )
+        )
+        seconds *= TIME_GROWTH
+        backtracks *= 4
+    return schedule

@@ -1,0 +1,5 @@
+"""Word-level circuit construction that elaborates directly to gates."""
+
+from .builder import Bus, RegisterLoop, RtlBuilder
+
+__all__ = ["Bus", "RegisterLoop", "RtlBuilder"]

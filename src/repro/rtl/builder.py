@@ -1,0 +1,301 @@
+"""Word-level netlist construction ("RTL") that synthesises to gates.
+
+The paper's Table III circuits were synthesised from high-level
+descriptions; this module provides the equivalent substrate: a builder
+with buses (little-endian lists of net names), word-level operators
+(adders, muxes, comparators), and registers, all elaborated immediately
+into the same gate primitives the rest of the package consumes.
+
+Example::
+
+    b = RtlBuilder("accumulator")
+    data = b.input_bus("data", 8)
+    acc = b.register_loop(8, "acc")          # declare feedback register
+    total, _carry = b.add(acc.q, data)
+    acc.drive(total)
+    b.output_bus(acc.q, "sum")
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+from ..circuit.transform import sweep
+from ..circuit.validate import check
+
+#: A bus is a little-endian list of net names (index 0 = LSB).
+Bus = List[str]
+
+
+@dataclass
+class RegisterLoop:
+    """A register declared before its input logic exists.
+
+    ``q`` is usable immediately; call :meth:`drive` exactly once with the
+    next-state bus.
+    """
+
+    builder: "RtlBuilder"
+    q: Bus
+    _driven: bool = False
+
+    def drive(self, d: Bus, enable: Optional[str] = None) -> None:
+        """Connect the register's next-state input (optionally gated)."""
+        if self._driven:
+            raise ValueError("register already driven")
+        if len(d) != len(self.q):
+            raise ValueError("width mismatch driving register")
+        if enable is not None:
+            d = self.builder.mux2(enable, self.q, d)
+        for q_net, d_net in zip(self.q, d):
+            self.builder.circuit.add_gate(
+                self.builder._loop_d[q_net], GateType.BUF, [d_net]
+            )
+        self._driven = True
+
+
+class RtlBuilder:
+    """Builds a :class:`~repro.circuit.Circuit` from word-level operations."""
+
+    def __init__(self, name: str):
+        self.circuit = Circuit(name)
+        self._counter = 0
+        self._loop_d: dict = {}
+        self._loops: List[RegisterLoop] = []
+
+    # ------------------------------------------------------------------
+    # naming / primitives
+    # ------------------------------------------------------------------
+    def fresh(self, prefix: str = "n") -> str:
+        """A new unique net name."""
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def gate(self, gtype: GateType, inputs: Sequence[str], prefix: str = "n") -> str:
+        """Add one gate and return its output net."""
+        out = self.fresh(prefix)
+        self.circuit.add_gate(out, gtype, list(inputs))
+        return out
+
+    def not_(self, a: str) -> str:
+        return self.gate(GateType.NOT, [a])
+
+    def and_(self, *ins: str) -> str:
+        return ins[0] if len(ins) == 1 else self.gate(GateType.AND, ins)
+
+    def or_(self, *ins: str) -> str:
+        return ins[0] if len(ins) == 1 else self.gate(GateType.OR, ins)
+
+    def xor_(self, *ins: str) -> str:
+        return ins[0] if len(ins) == 1 else self.gate(GateType.XOR, ins)
+
+    def nand_(self, *ins: str) -> str:
+        return self.gate(GateType.NAND, ins)
+
+    def nor_(self, *ins: str) -> str:
+        return self.gate(GateType.NOR, ins)
+
+    def const0(self) -> str:
+        return self.gate(GateType.CONST0, [])
+
+    def const1(self) -> str:
+        return self.gate(GateType.CONST1, [])
+
+    # ------------------------------------------------------------------
+    # buses
+    # ------------------------------------------------------------------
+    def input_bus(self, name: str, width: int) -> Bus:
+        """Declare ``width`` primary inputs named ``name_0 .. name_{w-1}``."""
+        return [self.circuit.add_input(f"{name}_{i}") for i in range(width)]
+
+    def input_bit(self, name: str) -> str:
+        """Declare a single primary input."""
+        return self.circuit.add_input(name)
+
+    def output_bus(self, bus: Bus, name: str = "") -> Bus:
+        """Declare every net of ``bus`` as a primary output."""
+        for net in bus:
+            self.circuit.add_output(net)
+        return bus
+
+    def output_bit(self, net: str) -> str:
+        """Declare one net as a primary output."""
+        self.circuit.add_output(net)
+        return net
+
+    def const_bus(self, value: int, width: int) -> Bus:
+        """A constant bus holding ``value`` (little-endian)."""
+        return [
+            self.const1() if (value >> i) & 1 else self.const0()
+            for i in range(width)
+        ]
+
+    # ------------------------------------------------------------------
+    # word-level combinational operators
+    # ------------------------------------------------------------------
+    def not_bus(self, a: Bus) -> Bus:
+        return [self.not_(x) for x in a]
+
+    def and_bus(self, a: Bus, b: Bus) -> Bus:
+        return [self.and_(x, y) for x, y in zip(a, b)]
+
+    def or_bus(self, a: Bus, b: Bus) -> Bus:
+        return [self.or_(x, y) for x, y in zip(a, b)]
+
+    def xor_bus(self, a: Bus, b: Bus) -> Bus:
+        return [self.xor_(x, y) for x, y in zip(a, b)]
+
+    def mux2(self, sel: str, a: Bus, b: Bus) -> Bus:
+        """Per-bit 2:1 mux: ``sel == 0`` selects ``a``, ``sel == 1`` selects ``b``."""
+        if len(a) != len(b):
+            raise ValueError("mux2 width mismatch")
+        nsel = self.not_(sel)
+        return [
+            self.or_(self.and_(nsel, x), self.and_(sel, y))
+            for x, y in zip(a, b)
+        ]
+
+    def mux_bit(self, sel: str, a: str, b: str) -> str:
+        """Single-bit 2:1 mux."""
+        return self.mux2(sel, [a], [b])[0]
+
+    def mux_tree(self, sels: Sequence[str], options: Sequence[Bus]) -> Bus:
+        """``2**len(sels)``-way mux; ``options`` ordered by select value."""
+        if len(options) != 1 << len(sels):
+            raise ValueError("mux_tree needs 2**len(sels) options")
+        buses = list(options)
+        for sel in sels:  # LSB first
+            buses = [
+                self.mux2(sel, buses[i], buses[i + 1])
+                for i in range(0, len(buses), 2)
+            ]
+        return buses[0]
+
+    def full_adder(self, a: str, b: str, cin: str) -> Tuple[str, str]:
+        """Returns (sum, carry-out)."""
+        axb = self.xor_(a, b)
+        s = self.xor_(axb, cin)
+        carry = self.or_(self.and_(a, b), self.and_(axb, cin))
+        return s, carry
+
+    def add(self, a: Bus, b: Bus, cin: Optional[str] = None) -> Tuple[Bus, str]:
+        """Ripple-carry addition; returns (sum bus, carry-out)."""
+        if len(a) != len(b):
+            raise ValueError("adder width mismatch")
+        carry = cin if cin is not None else self.const0()
+        out: Bus = []
+        for x, y in zip(a, b):
+            s, carry = self.full_adder(x, y, carry)
+            out.append(s)
+        return out, carry
+
+    def sub(self, a: Bus, b: Bus) -> Tuple[Bus, str]:
+        """Two's-complement subtraction; returns (difference, no-borrow).
+
+        The second element is the adder carry-out: 1 means ``a >= b``
+        for unsigned operands.
+        """
+        diff, carry = self.add(a, self.not_bus(b), self.const1())
+        return diff, carry
+
+    def inc(self, a: Bus) -> Bus:
+        """Increment by one (carry discarded)."""
+        out: Bus = []
+        carry = self.const1()
+        for x in a:
+            out.append(self.xor_(x, carry))
+            carry = self.and_(x, carry)
+        return out
+
+    def dec(self, a: Bus) -> Bus:
+        """Decrement by one (borrow discarded)."""
+        out: Bus = []
+        borrow = self.const1()
+        for x in a:
+            out.append(self.xor_(x, borrow))
+            borrow = self.and_(self.not_(x), borrow)
+        return out
+
+    def is_zero(self, a: Bus) -> str:
+        """1 when every bit of ``a`` is 0."""
+        return self.nor_(*a) if len(a) > 1 else self.not_(a[0])
+
+    def equals(self, a: Bus, b: Bus) -> str:
+        """1 when the buses are bitwise equal."""
+        diffs = [self.xor_(x, y) for x, y in zip(a, b)]
+        return self.nor_(*diffs) if len(diffs) > 1 else self.not_(diffs[0])
+
+    def decoder(self, sel: Bus) -> Bus:
+        """Full one-hot decode of ``sel`` (2**len(sel) outputs)."""
+        lines: Bus = []
+        inv = [self.not_(s) for s in sel]
+        for value in range(1 << len(sel)):
+            terms = [
+                sel[i] if (value >> i) & 1 else inv[i] for i in range(len(sel))
+            ]
+            lines.append(self.and_(*terms) if len(terms) > 1 else terms[0])
+        return lines
+
+    def onehot_mux(self, lines: Sequence[str], buses: Sequence[Bus]) -> Bus:
+        """Select among ``buses`` with one-hot ``lines`` (OR of AND terms)."""
+        if len(lines) != len(buses):
+            raise ValueError("onehot_mux needs one select line per bus")
+        width = len(buses[0])
+        out: Bus = []
+        for bit in range(width):
+            terms = [
+                self.and_(line, bus[bit]) for line, bus in zip(lines, buses)
+            ]
+            out.append(self.or_(*terms) if len(terms) > 1 else terms[0])
+        return out
+
+    def shift_left(self, a: Bus, fill: Optional[str] = None) -> Bus:
+        """Logical left shift by one (pure wiring plus the fill bit)."""
+        return [fill if fill is not None else self.const0()] + list(a[:-1])
+
+    def shift_right(self, a: Bus, fill: Optional[str] = None) -> Bus:
+        """Right shift by one; ``fill`` becomes the new MSB (0 if omitted)."""
+        return list(a[1:]) + [fill if fill is not None else self.const0()]
+
+    # ------------------------------------------------------------------
+    # registers
+    # ------------------------------------------------------------------
+    def register(self, d: Bus, name: str = "reg", enable: Optional[str] = None) -> Bus:
+        """A plain register: ``q`` follows ``d`` every clock (gated by enable)."""
+        loop = self.register_loop(len(d), name)
+        loop.drive(d, enable=enable)
+        return loop.q
+
+    def register_loop(self, width: int, name: str = "reg") -> RegisterLoop:
+        """Declare a feedback register whose input logic comes later.
+
+        Internally each bit is ``q = DFF(d)`` with ``d`` a placeholder BUF
+        gate filled in by :meth:`RegisterLoop.drive`.
+        """
+        q: Bus = []
+        for i in range(width):
+            d_net = self.fresh(f"{name}_d{i}")
+            q_net = self.fresh(f"{name}_q{i}")
+            self.circuit.add_gate(q_net, GateType.DFF, [d_net])
+            self._loop_d[q_net] = d_net
+            q.append(q_net)
+        loop = RegisterLoop(self, q)
+        self._loops.append(loop)
+        return loop
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> Circuit:
+        """Finish construction: dead-logic sweep, then structural checks.
+
+        The sweep removes elaboration leftovers such as unused top carries
+        of adder chains, so the returned netlist is fully observable.
+        """
+        for loop in self._loops:
+            if not loop._driven:
+                raise ValueError("a register_loop was never driven")
+        swept = sweep(self.circuit)
+        return check(swept) if validate else swept

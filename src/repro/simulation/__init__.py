@@ -1,0 +1,55 @@
+"""Bit-parallel three-valued logic and fault simulation."""
+
+from .encoding import (
+    PackedValue,
+    X,
+    diff_mask,
+    eval3,
+    eval_packed,
+    full_mask,
+    get_slot,
+    known_mask,
+    match_mask,
+    pack,
+    pack_const,
+    popcount,
+    set_slot,
+    unpack,
+)
+from .compiled import CompiledCircuit, CompiledGate, compile_circuit
+from .logic_sim import FrameSimulator, Injection, simulate_sequence
+from .fault_sim import (
+    FaultSimResult,
+    FaultSimulator,
+    Vector,
+    fault_coverage,
+    injection_for,
+)
+
+__all__ = [
+    "CompiledCircuit",
+    "CompiledGate",
+    "FaultSimResult",
+    "FaultSimulator",
+    "FrameSimulator",
+    "Injection",
+    "PackedValue",
+    "Vector",
+    "X",
+    "compile_circuit",
+    "diff_mask",
+    "eval3",
+    "eval_packed",
+    "fault_coverage",
+    "full_mask",
+    "get_slot",
+    "injection_for",
+    "known_mask",
+    "match_mask",
+    "pack",
+    "pack_const",
+    "popcount",
+    "set_slot",
+    "simulate_sequence",
+    "unpack",
+]

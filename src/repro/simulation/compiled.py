@@ -1,0 +1,133 @@
+"""Compiled (index-based) form of a circuit for fast simulation.
+
+:class:`CompiledCircuit` freezes a :class:`~repro.circuit.Circuit` into flat
+integer-indexed arrays: one index per net, gates in level order, fanout
+lists, and the PI / PO / flip-flop index sets every simulator needs.  All
+simulators in this package (logic, fault, GA-fitness) share one compiled
+form per circuit, so compilation cost is paid once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+
+
+#: Integer gate codes for the simulators' inline dispatch (hot loops).
+GATE_CODE = {
+    GateType.AND: 0,
+    GateType.NAND: 1,
+    GateType.OR: 2,
+    GateType.NOR: 3,
+    GateType.XOR: 4,
+    GateType.XNOR: 5,
+    GateType.NOT: 6,
+    GateType.BUF: 7,
+    GateType.CONST0: 8,
+    GateType.CONST1: 9,
+}
+
+
+@dataclass(frozen=True)
+class CompiledGate:
+    """One combinational gate in evaluation order."""
+
+    out: int
+    gtype: GateType
+    fanin: Tuple[int, ...]
+    level: int
+    code: int = -1
+
+
+class CompiledCircuit:
+    """Flat, index-addressed view of a circuit.
+
+    Attributes:
+        circuit: the source netlist.
+        net_names: index -> net name.
+        index: net name -> index.
+        pi: indices of primary inputs, in declaration order.
+        po: indices of primary outputs, in declaration order.
+        ff_out: indices of flip-flop output nets.
+        ff_in: indices of the corresponding D-input nets (same order).
+        gates: combinational gates in non-decreasing level order.
+        gate_of: net index -> position in ``gates`` (None for sources).
+        fanout_gates: net index -> positions (into ``gates``) of reading gates.
+        reads_ff_in: positions in ``gates`` never matter for this; D inputs
+            are read directly by :meth:`next_state_indices`.
+        level: per-net combinational level.
+        num_levels: ``max(level) + 1``.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.net_names: List[str] = list(circuit.nets)
+        self.index: Dict[str, int] = {n: i for i, n in enumerate(self.net_names)}
+        self.pi: List[int] = [self.index[n] for n in circuit.inputs]
+        self.po: List[int] = [self.index[n] for n in circuit.outputs]
+
+        ff_nets = circuit.flops
+        self.ff_out: List[int] = [self.index[n] for n in ff_nets]
+        self.ff_in: List[int] = [
+            self.index[circuit.gates[n].inputs[0]] for n in ff_nets
+        ]
+
+        levels = circuit.levels
+        self.level: List[int] = [levels[n] for n in self.net_names]
+        order = sorted(circuit.topo_order, key=lambda n: levels[n])
+        self.gates: List[CompiledGate] = []
+        self.gate_of: List[Optional[int]] = [None] * len(self.net_names)
+        for pos, net in enumerate(order):
+            g = circuit.gates[net]
+            cg = CompiledGate(
+                out=self.index[net],
+                gtype=g.gtype,
+                fanin=tuple(self.index[s] for s in g.inputs),
+                level=levels[net],
+                code=GATE_CODE[g.gtype],
+            )
+            self.gates.append(cg)
+            self.gate_of[cg.out] = pos
+
+        self.fanout_gates: List[List[int]] = [[] for _ in self.net_names]
+        for pos, cg in enumerate(self.gates):
+            for src in cg.fanin:
+                self.fanout_gates[src].append(pos)
+
+        self.num_levels = (max(self.level) if self.level else 0) + 1
+        self.num_nets = len(self.net_names)
+
+    # ------------------------------------------------------------------
+    def name_of(self, idx: int) -> str:
+        """Net name for an index (convenience for reporting)."""
+        return self.net_names[idx]
+
+    def is_source(self, idx: int) -> bool:
+        """True for PIs and flip-flop outputs (nets with no evaluated gate)."""
+        return self.gate_of[idx] is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledCircuit({self.circuit.name!r}, nets={self.num_nets}, "
+            f"gates={len(self.gates)}, ff={len(self.ff_out)})"
+        )
+
+
+_CACHE: Dict[int, CompiledCircuit] = {}
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Compile a circuit, reusing a cached form for the same object.
+
+    The cache keys on object identity, so structural edits after compilation
+    require a fresh :class:`~repro.circuit.Circuit` (or ``circuit.copy()``).
+    """
+    key = id(circuit)
+    cached = _CACHE.get(key)
+    if cached is None or cached.circuit is not circuit:
+        cached = CompiledCircuit(circuit)
+        _CACHE[key] = cached
+    return cached

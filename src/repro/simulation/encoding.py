@@ -1,0 +1,228 @@
+"""Two-word three-valued encoding with bit-parallel gate evaluation.
+
+PROOFS-style value packing: each net carries a pair of machine words
+``(p1, p0)``.  Bit ``i`` of ``p1`` means *slot* ``i`` can be logic 1; bit
+``i`` of ``p0`` means it can be 0.  The three logic values are encoded as
+
+======  ====  ====
+value   p1    p0
+======  ====  ====
+``1``   1     0
+``0``   0     1
+``X``   1     1
+======  ====  ====
+
+(``p1 = p0 = 0`` never occurs in well-formed simulation state.)  With this
+"can-be" encoding the three-valued gate functions reduce to plain bitwise
+logic over arbitrary-width Python integers, so one gate evaluation advances
+``width`` independent simulation slots — the bitwise parallelism the paper
+uses to evaluate 32 GA sequences at once.
+
+Scalar values at the API boundary use ``0``, ``1``, and :data:`X` (``2``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..circuit.gates import GateType
+
+#: Scalar code for the unknown value.
+X = 2
+
+#: Legal scalar values.
+SCALARS = (0, 1, X)
+
+PackedValue = Tuple[int, int]
+
+
+def full_mask(width: int) -> int:
+    """All-ones mask of ``width`` bits."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return (1 << width) - 1
+
+
+def pack_const(value: int, width: int) -> PackedValue:
+    """Broadcast one scalar (0, 1 or X) across all ``width`` slots."""
+    mask = full_mask(width)
+    if value == 1:
+        return mask, 0
+    if value == 0:
+        return 0, mask
+    if value == X:
+        return mask, mask
+    raise ValueError(f"not a scalar logic value: {value!r}")
+
+
+def pack(values: Sequence[int], width: int = 0) -> PackedValue:
+    """Pack a list of scalars (slot 0 = bit 0) into a ``(p1, p0)`` pair.
+
+    Slots beyond ``len(values)`` (up to ``width``) are filled with X.
+    """
+    width = width or len(values)
+    if len(values) > width:
+        raise ValueError("more values than slots")
+    p1 = p0 = 0
+    for i, v in enumerate(values):
+        if v == 1:
+            p1 |= 1 << i
+        elif v == 0:
+            p0 |= 1 << i
+        elif v == X:
+            p1 |= 1 << i
+            p0 |= 1 << i
+        else:
+            raise ValueError(f"not a scalar logic value: {v!r}")
+    if width > len(values):
+        rest = full_mask(width) ^ full_mask(len(values)) if values else full_mask(width)
+        p1 |= rest
+        p0 |= rest
+    return p1, p0
+
+
+def unpack(value: PackedValue, width: int) -> List[int]:
+    """Expand a packed pair back into a list of scalars, slot 0 first."""
+    p1, p0 = value
+    out: List[int] = []
+    for i in range(width):
+        bit = 1 << i
+        one = bool(p1 & bit)
+        zero = bool(p0 & bit)
+        if one and zero:
+            out.append(X)
+        elif one:
+            out.append(1)
+        elif zero:
+            out.append(0)
+        else:
+            raise ValueError(f"slot {i} holds the invalid (0,0) encoding")
+    return out
+
+
+def get_slot(value: PackedValue, slot: int) -> int:
+    """Read one slot of a packed pair as a scalar."""
+    p1, p0 = value
+    bit = 1 << slot
+    one = bool(p1 & bit)
+    zero = bool(p0 & bit)
+    if one and zero:
+        return X
+    if one:
+        return 1
+    if zero:
+        return 0
+    raise ValueError(f"slot {slot} holds the invalid (0,0) encoding")
+
+
+def set_slot(value: PackedValue, slot: int, scalar: int) -> PackedValue:
+    """Return ``value`` with one slot overwritten by ``scalar``."""
+    p1, p0 = value
+    bit = 1 << slot
+    p1 &= ~bit
+    p0 &= ~bit
+    if scalar == 1:
+        p1 |= bit
+    elif scalar == 0:
+        p0 |= bit
+    elif scalar == X:
+        p1 |= bit
+        p0 |= bit
+    else:
+        raise ValueError(f"not a scalar logic value: {scalar!r}")
+    return p1, p0
+
+
+def eval3(gtype: GateType, values: Sequence[int]) -> int:
+    """Scalar three-valued gate evaluation (the reference semantics).
+
+    Controlling values dominate X; otherwise any X input makes the output X.
+    """
+    packed = [pack([v]) for v in values]
+    p1, p0 = eval_packed(gtype, packed, mask=1)
+    if p1 and p0:
+        return X
+    return 1 if p1 else 0
+
+
+def eval_packed(
+    gtype: GateType, values: Sequence[PackedValue], mask: int
+) -> PackedValue:
+    """Bit-parallel three-valued evaluation of one gate.
+
+    Args:
+        gtype: the gate's type (must be combinational).
+        values: packed ``(p1, p0)`` pairs, one per input pin.
+        mask: all-ones mask for the active word width.
+
+    Returns:
+        The packed output pair.
+    """
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        p1, p0 = mask, 0
+        for a1, a0 in values:
+            p1 &= a1
+            p0 |= a0
+        if gtype is GateType.NAND:
+            p1, p0 = p0, p1
+        return p1, p0
+    if gtype is GateType.OR or gtype is GateType.NOR:
+        p1, p0 = 0, mask
+        for a1, a0 in values:
+            p1 |= a1
+            p0 &= a0
+        if gtype is GateType.NOR:
+            p1, p0 = p0, p1
+        return p1, p0
+    if gtype is GateType.XOR or gtype is GateType.XNOR:
+        p1, p0 = 0, mask  # parity accumulator starts at constant 0
+        for a1, a0 in values:
+            n1 = (p1 & a0) | (p0 & a1)
+            n0 = (p1 & a1) | (p0 & a0)
+            p1, p0 = n1 & mask, n0 & mask
+        if gtype is GateType.XNOR:
+            p1, p0 = p0, p1
+        return p1, p0
+    if gtype is GateType.NOT:
+        a1, a0 = values[0]
+        return a0, a1
+    if gtype is GateType.BUF or gtype is GateType.DFF:
+        return values[0]
+    if gtype is GateType.CONST0:
+        return 0, mask
+    if gtype is GateType.CONST1:
+        return mask, 0
+    raise ValueError(f"unhandled gate type {gtype}")  # pragma: no cover
+
+
+def known_mask(value: PackedValue) -> int:
+    """Bits where the slot holds a definite 0 or 1 (not X)."""
+    p1, p0 = value
+    return p1 ^ p0
+
+
+def diff_mask(a: PackedValue, b: PackedValue) -> int:
+    """Bits where both slots are known and hold opposite values."""
+    a1, a0 = a
+    b1, b0 = b
+    return (a1 & ~a0 & b0 & ~b1) | (a0 & ~a1 & b1 & ~b0)
+
+
+def match_mask(required: PackedValue, actual: PackedValue, mask: int) -> int:
+    """Bits where ``actual`` satisfies ``required``.
+
+    A slot matches when the requirement is X (don't care) or when both are
+    known and equal.  A known requirement against an X actual does *not*
+    match (the flip-flop might settle either way).
+    """
+    r1, r0 = required
+    a1, a0 = actual
+    dont_care = r1 & r0
+    eq_one = (r1 & ~r0) & (a1 & ~a0)
+    eq_zero = (r0 & ~r1) & (a0 & ~a1)
+    return (dont_care | eq_one | eq_zero) & mask
+
+
+def popcount(x: int) -> int:
+    """Number of set bits (Python ints are arbitrary width)."""
+    return bin(x).count("1")

@@ -1,0 +1,237 @@
+"""PROOFS-style parallel-fault sequential fault simulation.
+
+Faults are packed ``width`` at a time into the bit slots of one
+:class:`~repro.simulation.logic_sim.FrameSimulator`; the fault-free circuit
+is simulated once per sequence.  A fault is *detected* at a frame when some
+primary output holds a known value in both circuits and the values differ.
+
+Each fault carries its own flip-flop state between calls, so the driver can
+fault-simulate only the newly appended test sequence after each accepted
+test instead of replaying the whole cumulative test set (the same
+incremental regime PROOFS runs inside HITEC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from .compiled import CompiledCircuit, compile_circuit
+from .encoding import X, full_mask, pack_const, unpack
+from .logic_sim import FrameSimulator, Injection
+
+
+def injection_for(cc: CompiledCircuit, fault: Fault, mask: int) -> Injection:
+    """Translate a fault into a simulator :class:`Injection` for ``mask`` slots.
+
+    Branch faults on combinational gates become pin injections; branch
+    faults feeding a flip-flop's D pin become flip-flop latch injections
+    (applied when the frame is clocked).
+    """
+    net_idx = cc.index[fault.net]
+    if not fault.is_branch:
+        return Injection(net=net_idx, stuck=fault.stuck, mask=mask)
+    reader = cc.circuit.gates[fault.gate]
+    if reader.gtype is GateType.DFF:
+        ff_pos = cc.ff_out.index(cc.index[fault.gate])
+        return Injection(net=net_idx, stuck=fault.stuck, mask=mask, ff_pos=ff_pos)
+    gate_pos = cc.gate_of[cc.index[fault.gate]]
+    return Injection(
+        net=net_idx, stuck=fault.stuck, mask=mask, gate_pos=gate_pos, pin=fault.pin
+    )
+
+#: A test vector: scalar PI values (0/1/X) in primary-input declaration order.
+Vector = Sequence[int]
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of fault-simulating one sequence.
+
+    Attributes:
+        detected: fault -> frame index (within this sequence) of first
+            detection.
+        good_state: fault-free flip-flop state after the sequence
+            (scalars, flip-flop order).
+        fault_states: per-surviving-fault faulty flip-flop state after the
+            sequence (scalars, flip-flop order).
+        good_outputs: fault-free PO scalar values per frame.
+        signatures: fault -> all (frame, PO position) observation points,
+            populated only when the run recorded full signatures.
+    """
+
+    detected: Dict[Fault, int] = field(default_factory=dict)
+    good_state: List[int] = field(default_factory=list)
+    fault_states: Dict[Fault, List[int]] = field(default_factory=dict)
+    good_outputs: List[List[int]] = field(default_factory=list)
+    signatures: Dict[Fault, "frozenset"] = field(default_factory=dict)
+
+
+def _broadcast_vector(vector: Vector, width: int) -> List[Tuple[int, int]]:
+    """Replicate one scalar PI vector across all slots."""
+    return [pack_const(v, width) for v in vector]
+
+
+class FaultSimulator:
+    """Parallel-fault simulator over a fixed circuit.
+
+    Args:
+        circuit: circuit or compiled circuit to simulate.
+        width: number of faults packed per pass (word width).
+    """
+
+    def __init__(self, circuit: "Circuit | CompiledCircuit", width: int = 64):
+        self.cc = circuit if isinstance(circuit, CompiledCircuit) else compile_circuit(circuit)
+        self.width = width
+
+    # ------------------------------------------------------------------
+    def simulate_good(
+        self, vectors: Sequence[Vector], state: Optional[Sequence[int]] = None
+    ) -> Tuple[List[List[int]], List[int]]:
+        """Fault-free simulation: per-frame PO scalars and the final state."""
+        sim = FrameSimulator(self.cc, width=1)
+        if state is not None:
+            sim.set_state([pack_const(v, 1) for v in state])
+        outputs: List[List[int]] = []
+        for vec in vectors:
+            po = sim.step(_broadcast_vector(vec, 1))
+            outputs.append([unpack(v, 1)[0] for v in po])
+        final_state = [unpack(v, 1)[0] for v in sim.get_state()]
+        return outputs, final_state
+
+    def run(
+        self,
+        vectors: Sequence[Vector],
+        faults: Sequence[Fault],
+        good_state: Optional[Sequence[int]] = None,
+        fault_states: Optional[Dict[Fault, List[int]]] = None,
+        stop_on_all_detected: bool = True,
+        record_signatures: bool = False,
+    ) -> FaultSimResult:
+        """Fault-simulate ``vectors`` against ``faults``.
+
+        Args:
+            vectors: the test sequence (scalars in PI order, X allowed).
+            faults: faults to simulate (undetected ones).
+            good_state: fault-free starting state (default all-X).
+            fault_states: per-fault faulty starting state (default all-X).
+            stop_on_all_detected: stop a batch early once every fault in it
+                is detected.
+            record_signatures: additionally collect every (frame, PO
+                position) observation point per fault into
+                ``result.signatures`` (disables early stopping) — the raw
+                material of a fault dictionary.
+
+        Returns:
+            A :class:`FaultSimResult`; ``fault_states`` holds final states
+            only for faults *not* detected by this sequence.
+        """
+        result = FaultSimResult()
+        result.good_outputs, result.good_state = self.simulate_good(
+            vectors, good_state
+        )
+        if fault_states is None:
+            fault_states = {}
+        if record_signatures:
+            stop_on_all_detected = False
+
+        for start in range(0, len(faults), self.width):
+            batch = list(faults[start : start + self.width])
+            self._run_batch(vectors, batch, fault_states, result,
+                            stop_on_all_detected, record_signatures)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self,
+        vectors: Sequence[Vector],
+        batch: List[Fault],
+        fault_states: Dict[Fault, List[int]],
+        result: FaultSimResult,
+        stop_early: bool,
+        record_signatures: bool = False,
+    ) -> None:
+        w = len(batch)
+        mask_all = full_mask(w)
+        injections = [
+            injection_for(self.cc, fault, 1 << slot)
+            for slot, fault in enumerate(batch)
+        ]
+        sim = FrameSimulator(self.cc, width=w, injections=injections)
+        # pack each flip-flop's value across the fault slots
+        n_ff = len(self.cc.ff_out)
+        if any(f in fault_states for f in batch):
+            packed_state = []
+            for ff_i in range(n_ff):
+                p1 = p0 = 0
+                for slot, fault in enumerate(batch):
+                    v = fault_states.get(fault, [X] * n_ff)[ff_i]
+                    bit = 1 << slot
+                    if v == 1:
+                        p1 |= bit
+                    elif v == 0:
+                        p0 |= bit
+                    else:
+                        p1 |= bit
+                        p0 |= bit
+                packed_state.append((p1, p0))
+            sim.set_state(packed_state)
+
+        detected_mask = 0
+        signatures = [set() for _ in batch] if record_signatures else None
+        for frame, vec in enumerate(vectors):
+            po_vals = sim.step(_broadcast_vector(vec, w))
+            good_po = result.good_outputs[frame]
+            for po_pos, ((f1, f0), gv) in enumerate(zip(po_vals, good_po)):
+                if gv == X:
+                    continue
+                if gv == 1:
+                    observed = f0 & ~f1 & mask_all
+                else:
+                    observed = f1 & ~f0 & mask_all
+                new = observed & ~detected_mask
+                if new:
+                    for slot in range(w):
+                        if new & (1 << slot):
+                            result.detected[batch[slot]] = frame
+                    detected_mask |= new
+                if signatures is not None and observed:
+                    for slot in range(w):
+                        if observed & (1 << slot):
+                            signatures[slot].add((frame, po_pos))
+            if stop_early and detected_mask == mask_all:
+                break
+        if signatures is not None:
+            for slot, fault in enumerate(batch):
+                result.signatures[fault] = frozenset(signatures[slot])
+
+        final = sim.get_state()
+        for slot, fault in enumerate(batch):
+            if detected_mask & (1 << slot):
+                fault_states.pop(fault, None)
+                continue
+            state = []
+            for p1, p0 in final:
+                bit = 1 << slot
+                one = bool(p1 & bit)
+                zero = bool(p0 & bit)
+                state.append(X if one and zero else (1 if one else 0))
+            result.fault_states[fault] = state
+            fault_states[fault] = state
+
+
+def fault_coverage(
+    circuit: "Circuit | CompiledCircuit",
+    vectors: Sequence[Vector],
+    faults: Sequence[Fault],
+    width: int = 64,
+) -> float:
+    """Fraction of ``faults`` detected by ``vectors`` from the all-X state."""
+    if not faults:
+        return 0.0
+    sim = FaultSimulator(circuit, width=width)
+    result = sim.run(vectors, faults)
+    return len(result.detected) / len(faults)

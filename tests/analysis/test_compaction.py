@@ -1,0 +1,66 @@
+"""Tests for sequence-level test-set compaction."""
+
+import random
+
+from repro.analysis.compaction import compact_test_set, split_blocks
+from repro.analysis.coverage import evaluate_test_set
+from repro.circuits import s27
+from repro.faults.collapse import collapse_faults
+from repro.hybrid import gahitec, gahitec_schedule
+
+
+class TestSplitBlocks:
+    def test_basic_split(self):
+        vectors = [[i] for i in range(10)]
+        blocks = split_blocks(vectors, [0, 4, 7])
+        assert [len(b) for b in blocks] == [4, 3, 3]
+        assert blocks[1][0] == [4]
+
+    def test_zero_base_implied(self):
+        blocks = split_blocks([[1], [2], [3]], [2])
+        assert [len(b) for b in blocks] == [2, 1]
+
+    def test_empty(self):
+        assert split_blocks([], []) == []
+
+
+class TestCompaction:
+    def _run(self):
+        driver = gahitec(s27(), seed=1)
+        return driver.run(
+            gahitec_schedule(x=12, time_scale=None, backtrack_base=100)
+        )
+
+    def test_coverage_preserved(self):
+        result = self._run()
+        faults = collapse_faults(s27())
+        compacted = compact_test_set(
+            s27(), result.test_set, list(result.detected.values()), faults
+        )
+        before = evaluate_test_set(s27(), result.test_set, faults)
+        after = evaluate_test_set(s27(), compacted.vectors, faults)
+        assert len(after.detected) == len(before.detected)
+        assert compacted.coverage == len(before.detected)
+
+    def test_never_grows(self):
+        result = self._run()
+        compacted = compact_test_set(
+            s27(), result.test_set, list(result.detected.values())
+        )
+        assert compacted.compacted_vectors <= compacted.original_vectors
+        assert 0.0 <= compacted.reduction <= 1.0
+
+    def test_padded_test_set_shrinks(self):
+        """Obvious redundancy (a duplicated test set) must be removed."""
+        result = self._run()
+        doubled = result.test_set + result.test_set
+        bases = list(result.detected.values()) + [len(result.test_set)]
+        compacted = compact_test_set(s27(), doubled, bases)
+        assert compacted.compacted_vectors < len(doubled)
+
+    def test_kept_blocks_in_order(self):
+        result = self._run()
+        compacted = compact_test_set(
+            s27(), result.test_set, list(result.detected.values())
+        )
+        assert compacted.kept_blocks == sorted(compacted.kept_blocks)

@@ -1,0 +1,48 @@
+"""Tests for coverage accounting."""
+
+from repro.analysis.coverage import (
+    CoverageReport,
+    atpg_efficiency,
+    evaluate_test_set,
+    random_baseline,
+    random_vectors,
+)
+from repro.circuits import s27
+from repro.faults.collapse import collapse_faults
+
+
+class TestEvaluateTestSet:
+    def test_empty_test_set(self):
+        report = evaluate_test_set(s27(), [])
+        assert report.coverage == 0.0
+        assert report.vectors == 0
+
+    def test_default_fault_list_is_collapsed(self):
+        report = evaluate_test_set(s27(), [[0, 0, 0, 0]])
+        assert report.total_faults == len(collapse_faults(s27()))
+
+    def test_random_vectors_reproducible(self):
+        assert random_vectors(s27(), 10, seed=3) == random_vectors(s27(), 10, seed=3)
+        assert random_vectors(s27(), 10, seed=3) != random_vectors(s27(), 10, seed=4)
+
+    def test_random_baseline_covers_most_of_s27(self):
+        report = random_baseline(s27(), 200, seed=1)
+        assert report.coverage > 0.85
+        assert report.vectors == 200
+
+    def test_str_format(self):
+        report = CoverageReport(total_faults=10)
+        report.vectors = 5
+        assert "0/10" in str(report)
+
+    def test_undetected(self):
+        report = random_baseline(s27(), 100, seed=1)
+        assert report.undetected == report.total_faults - len(report.detected)
+
+
+class TestEfficiency:
+    def test_formula(self):
+        assert atpg_efficiency(8, 1, 10) == 0.9
+
+    def test_empty(self):
+        assert atpg_efficiency(0, 0, 0) == 0.0

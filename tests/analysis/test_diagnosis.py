@@ -1,0 +1,61 @@
+"""Tests for fault-dictionary diagnosis."""
+
+import random
+
+import pytest
+
+from repro.analysis.diagnosis import FaultDictionary
+from repro.circuits import s27
+from repro.faults.collapse import collapse_faults
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    circuit = s27()
+    rng = random.Random(8)
+    vectors = [[rng.getrandbits(1) for _ in circuit.inputs] for _ in range(60)]
+    return FaultDictionary(circuit, vectors)
+
+
+class TestDictionary:
+    def test_detected_faults_have_signatures(self, dictionary):
+        for fault in dictionary.detected_faults:
+            assert dictionary.signatures[fault]
+
+    def test_most_faults_detected(self, dictionary):
+        assert len(dictionary.detected_faults) >= 24  # of 26
+
+    def test_resolution_in_range(self, dictionary):
+        assert 0.0 < dictionary.diagnostic_resolution() <= 1.0
+
+    def test_classes_partition_detected_faults(self, dictionary):
+        classes = dictionary.distinguishable_classes()
+        flattened = [f for cls in classes for f in cls]
+        assert sorted(flattened) == sorted(dictionary.detected_faults)
+
+
+class TestDiagnosis:
+    def test_injected_fault_ranks_first_and_exact(self, dictionary):
+        for fault in dictionary.detected_faults:
+            ranked = dictionary.diagnose_fault(fault, top=3)
+            assert ranked, str(fault)
+            assert fault in ranked[0].faults
+            assert ranked[0].exact
+
+    def test_unrelated_failures_rank_lower(self, dictionary):
+        fault = dictionary.detected_faults[0]
+        failures = sorted(dictionary.signatures[fault])
+        # corrupt the observation with a bogus failure position
+        failures.append((10_000, 0))
+        ranked = dictionary.diagnose(failures, top=3)
+        assert ranked
+        assert fault in ranked[0].faults
+        assert ranked[0].misses == 1  # the bogus failure stays unexplained
+
+    def test_no_failures_means_no_candidates(self, dictionary):
+        assert dictionary.diagnose([]) == []
+
+    def test_top_limits_results(self, dictionary):
+        fault = dictionary.detected_faults[0]
+        ranked = dictionary.diagnose_fault(fault, top=2)
+        assert len(ranked) <= 2

@@ -1,0 +1,59 @@
+"""Tests for multi-seed sweeps."""
+
+import pytest
+
+from repro.analysis.experiments import Stat, SeedSweep, compare_sweeps, seed_sweep
+from repro.circuits import s27
+from repro.hybrid import gahitec, gahitec_schedule
+
+
+def make_run(seed: int):
+    return gahitec(s27(), seed=seed).run(
+        gahitec_schedule(x=12, num_passes=2, time_scale=None,
+                         backtrack_base=100)
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return seed_sweep("GA-HITEC", make_run, seeds=(0, 1, 2))
+
+
+class TestStat:
+    def test_single_value(self):
+        from repro.analysis.experiments import _stat
+
+        s = _stat([5.0])
+        assert s.mean == 5.0 and s.std == 0.0
+        assert str(s) == "5.0"
+
+    def test_mean_and_std(self):
+        from repro.analysis.experiments import _stat
+
+        s = _stat([1.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(2.0 ** 0.5)
+        assert "±" in str(s)
+
+
+class TestSweep:
+    def test_runs_all_seeds(self, sweep):
+        assert sweep.seeds == 3
+        assert all(r.generator == "GA-HITEC" for r in sweep.runs)
+
+    def test_final_stats(self, sweep):
+        det = sweep.final("detected")
+        assert det.n == 3
+        assert 20 <= det.mean <= 26  # s27 nearly fully covered in 2 passes
+
+    def test_per_pass_lengths(self, sweep):
+        assert len(sweep.per_pass("detected")) == 2
+
+    def test_summary_renders(self, sweep):
+        text = sweep.summary()
+        assert "pass 1" in text and "pass 2" in text
+
+    def test_compare_renders(self, sweep):
+        text = compare_sweeps([sweep])
+        assert "GA-HITEC" in text and "coverage" in text
+        assert "%" in text

@@ -1,0 +1,61 @@
+"""Tests for the paper-style table renderer and shape checks."""
+
+from repro.analysis.tables import TableEntry, render_table, shape_checks
+from repro.hybrid.results import PassStats, RunResult
+
+
+def fake_run(generator, detected_per_pass, untestable_per_pass):
+    r = RunResult("s298", generator, total_faults=308)
+    vec = 0
+    for i, (d, u) in enumerate(zip(detected_per_pass, untestable_per_pass), 1):
+        vec += 50
+        r.passes.append(
+            PassStats(i, "ga" if i < 3 else "deterministic",
+                      detected=d, vectors=vec, time_s=10.0 * i, untestable=u)
+        )
+    return r
+
+
+def entry():
+    return TableEntry(
+        circuit="s298",
+        seq_depth=8,
+        total_faults=308,
+        left=fake_run("GA-HITEC", [255, 264, 265], [0, 0, 26]),
+        right=fake_run("HITEC", [261, 265, 265], [21, 26, 26]),
+    )
+
+
+class TestRenderTable:
+    def test_contains_header_and_values(self):
+        text = render_table([entry()])
+        assert "GA-HITEC" in text and "HITEC" in text
+        assert "s298" in text
+        assert "255" in text and "261" in text
+
+    def test_one_row_per_pass(self):
+        text = render_table([entry()])
+        data_lines = [l for l in text.splitlines() if "|" in l and "Det" not in l]
+        assert len(data_lines) == 3
+
+    def test_handles_missing_right(self):
+        e = entry()
+        e.right = None
+        text = render_table([e])
+        assert "s298" in text
+
+
+class TestShapeChecks:
+    def test_agreeing_untestables_pass(self):
+        lines = shape_checks([entry()])
+        assert any("final untestable" in l and "[PASS]" in l for l in lines)
+
+    def test_divergent_untestables_fail(self):
+        e = entry()
+        e.right = fake_run("HITEC", [261, 265, 265], [21, 26, 100])
+        lines = shape_checks([e])
+        assert any("final untestable" in l and "[FAIL]" in l for l in lines)
+
+    def test_pass1_detection_comparison_reported(self):
+        lines = shape_checks([entry()])
+        assert any("pass-1 detections" in l for l in lines)

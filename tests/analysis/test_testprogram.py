@@ -1,0 +1,82 @@
+"""Tests for test-program export with expected responses."""
+
+import random
+
+from repro.analysis.testprogram import (
+    build_test_program,
+    parse_test_program,
+    verify_test_program,
+)
+from repro.circuits import s27, two_stage_pipeline
+from repro.simulation.encoding import X
+
+
+def random_vectors(circuit, count, seed=0):
+    rng = random.Random(seed)
+    return [[rng.getrandbits(1) for _ in circuit.inputs] for _ in range(count)]
+
+
+class TestBuild:
+    def test_lengths_match(self):
+        circuit = s27()
+        vectors = random_vectors(circuit, 10)
+        program = build_test_program(circuit, vectors)
+        assert len(program) == 10
+        assert all(len(r) == 1 for r in program.responses)
+
+    def test_early_responses_may_be_x(self):
+        circuit = two_stage_pipeline()
+        program = build_test_program(circuit, [[1], [1], [1]])
+        assert program.responses[0] == [X]  # state not initialised yet
+        assert program.responses[2] == [1]
+
+    def test_responses_are_fault_free_simulation(self):
+        circuit = s27()
+        vectors = random_vectors(circuit, 20, seed=3)
+        program = build_test_program(circuit, vectors)
+        assert verify_test_program(circuit, program)
+
+
+class TestRoundtrip:
+    def test_render_parse_roundtrip(self):
+        circuit = s27()
+        program = build_test_program(circuit, random_vectors(circuit, 5))
+        again = parse_test_program(program.render())
+        assert again.circuit_name == "s27"
+        assert again.inputs == program.inputs
+        assert again.outputs == program.outputs
+        assert again.vectors == program.vectors
+        assert again.responses == program.responses
+
+    def test_file_roundtrip(self, tmp_path):
+        circuit = s27()
+        program = build_test_program(circuit, random_vectors(circuit, 5))
+        path = tmp_path / "prog.txt"
+        program.save(str(path))
+        again = parse_test_program(path.read_text())
+        assert again.vectors == program.vectors
+
+    def test_x_marks_preserved(self):
+        circuit = two_stage_pipeline()
+        program = build_test_program(circuit, [[1]])
+        text = program.render()
+        assert "| x" in text
+        assert parse_test_program(text).responses == [[X]]
+
+    def test_parse_rejects_missing_separator(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            parse_test_program("# circuit: z\n0101\n")
+
+
+class TestVerify:
+    def test_detects_corrupted_response(self):
+        circuit = s27()
+        program = build_test_program(circuit, random_vectors(circuit, 8))
+        # corrupt the last strobed response
+        for i in reversed(range(len(program))):
+            if program.responses[i][0] != X:
+                program.responses[i][0] ^= 1
+                break
+        assert not verify_test_program(circuit, program)

@@ -1,0 +1,99 @@
+"""Tests for deterministic reverse-time state justification."""
+
+from repro.atpg.justify import JustifyStatus, justify_state
+from repro.atpg.podem import Limits
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuits import counter, gray_fsm, s27, two_stage_pipeline
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.encoding import X, pack_const, unpack
+from repro.simulation.logic_sim import FrameSimulator
+
+
+def verify_justification(circuit, required, vectors):
+    """Apply the vectors from all-X and check the required state holds."""
+    sim = FrameSimulator(circuit, width=1)
+    for vec in vectors:
+        sim.step([pack_const(0 if v == X else v, 1) for v in vec])
+    state = dict(zip(circuit.flops, sim.get_state()))
+    for net, want in required.items():
+        assert unpack(state[net], 1)[0] == want, f"{net} != {want}"
+
+
+class TestJustifyState:
+    def test_empty_requirement_is_trivial(self):
+        cc = compile_circuit(s27())
+        res = justify_state(cc, {}, max_depth=4, limits=Limits())
+        assert res.success and res.vectors == []
+
+    def test_single_flop_one_frame(self):
+        circuit = two_stage_pipeline()
+        cc = compile_circuit(circuit)
+        res = justify_state(cc, {"f1": 1}, max_depth=4, limits=Limits())
+        assert res.success
+        assert len(res.vectors) == 1
+        verify_justification(circuit, {"f1": 1}, res.vectors)
+
+    def test_deep_flop_needs_more_frames(self):
+        circuit = two_stage_pipeline()
+        cc = compile_circuit(circuit)
+        res = justify_state(cc, {"f2": 1}, max_depth=4, limits=Limits())
+        assert res.success
+        assert len(res.vectors) == 2
+        verify_justification(circuit, {"f2": 1}, res.vectors)
+
+    def test_depth_bound_reported(self):
+        circuit = two_stage_pipeline()
+        cc = compile_circuit(circuit)
+        res = justify_state(cc, {"f2": 1}, max_depth=1, limits=Limits())
+        assert res.status is JustifyStatus.BOUNDED
+
+    def test_counter_state_justification(self):
+        """Reaching count=3 on a 3-bit counter takes 3 enabled steps."""
+        circuit = counter(3)
+        cc = compile_circuit(circuit)
+        required = {"q0": 1, "q1": 1, "q2": 0}
+        res = justify_state(cc, required, max_depth=10, limits=Limits(50_000))
+        assert res.success
+        verify_justification(circuit, required, res.vectors)
+
+    def test_gray_fsm_state(self):
+        circuit = gray_fsm()
+        cc = compile_circuit(circuit)
+        required = {"s0": 1, "s1": 1}
+        res = justify_state(cc, required, max_depth=8, limits=Limits(10_000))
+        assert res.success
+        verify_justification(circuit, required, res.vectors)
+
+    def test_unreachable_state_exhausts(self):
+        c = Circuit("stuck_pair")
+        c.add_input("a")
+        c.add_gate("q1", GateType.DFF, ["a"])
+        c.add_gate("na", GateType.NOT, ["a"])
+        c.add_gate("q2", GateType.DFF, ["na"])
+        c.add_gate("y", GateType.XOR, ["q1", "q2"])
+        c.add_output("y")
+        cc = compile_circuit(c)
+        # q1 and q2 always latch opposite values: (1, 1) is unreachable
+        res = justify_state(cc, {"q1": 1, "q2": 1}, max_depth=6,
+                            limits=Limits(50_000))
+        assert res.status is JustifyStatus.EXHAUSTED
+
+    def test_limit_reported(self):
+        circuit = counter(4)
+        cc = compile_circuit(circuit)
+        res = justify_state(
+            cc, {"q3": 1}, max_depth=20, limits=Limits(max_backtracks=0)
+        )
+        assert res.status in (JustifyStatus.LIMIT, JustifyStatus.BOUNDED)
+
+    def test_all_s27_single_flop_states_justifiable(self):
+        circuit = s27()
+        cc = compile_circuit(circuit)
+        for ff in circuit.flops:
+            for value in (0, 1):
+                res = justify_state(
+                    cc, {ff: value}, max_depth=8, limits=Limits(50_000)
+                )
+                assert res.success, f"{ff}={value} should be justifiable"
+                verify_justification(circuit, {ff: value}, res.vectors)

@@ -1,0 +1,130 @@
+"""Tests for the PODEM search engine (DETECT and JUSTIFY modes)."""
+
+import pytest
+
+from repro.atpg.podem import Limits, PodemEngine, SearchStatus
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuits import (
+    REDUNDANT_FAULT,
+    gray_fsm,
+    redundant_and,
+    s27,
+    untestable_stem,
+)
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.encoding import X, pack_const, unpack
+from repro.simulation.fault_sim import FaultSimulator
+
+
+def limits(backtracks=10_000):
+    return Limits(max_backtracks=backtracks)
+
+
+class TestDetectMode:
+    def test_combinational_detection(self):
+        c = Circuit("comb")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.AND, ["a", "b"])
+        c.add_output("y")
+        cc = compile_circuit(c)
+        engine = PodemEngine(cc, fault=Fault("a", 0), num_frames=1)
+        sol = engine.run(limits())
+        assert sol is not None
+        assert sol.vectors[0] == [1, 1]  # a=1 to excite, b=1 to propagate
+
+    def test_every_s27_solution_really_detects(self):
+        """Cross-validate PODEM solutions against the fault simulator."""
+        circuit = s27()
+        cc = compile_circuit(circuit)
+        sim = FaultSimulator(cc)
+        for fault in collapse_faults(circuit):
+            engine = PodemEngine(cc, fault=fault, num_frames=6)
+            sol = engine.run(limits())
+            if sol is None:
+                continue  # may need state justification; engine level only
+            if sol.required_state:
+                continue  # not a self-contained test
+            vectors = [[0 if v == X else v for v in vec] for vec in sol.vectors]
+            result = sim.run(vectors, [fault])
+            assert fault in result.detected, f"{fault}: bogus solution"
+
+    def test_redundant_fault_exhausts(self):
+        cc = compile_circuit(redundant_and())
+        engine = PodemEngine(cc, fault=REDUNDANT_FAULT, num_frames=1)
+        assert engine.run(limits()) is None
+        assert engine.status is SearchStatus.EXHAUSTED
+
+    def test_constant_zero_fault_exhausts(self):
+        circuit, fault = untestable_stem()
+        cc = compile_circuit(circuit)
+        engine = PodemEngine(cc, fault=fault, num_frames=2)
+        assert engine.run(limits()) is None
+        assert engine.status is SearchStatus.EXHAUSTED
+
+    def test_backtrack_limit_reported(self):
+        cc = compile_circuit(redundant_and())
+        engine = PodemEngine(cc, fault=REDUNDANT_FAULT, num_frames=1)
+        assert engine.run(Limits(max_backtracks=0)) is None
+        assert engine.status is SearchStatus.LIMIT
+
+    def test_multiple_solutions_are_distinct_assignments(self):
+        c = Circuit("two_ways")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_input("c")
+        c.add_gate("or1", GateType.OR, ["b", "c"])
+        c.add_gate("y", GateType.AND, ["a", "or1"])
+        c.add_output("y")
+        cc = compile_circuit(c)
+        engine = PodemEngine(cc, fault=Fault("a", 0), num_frames=1)
+        sols = []
+        for sol in engine.solutions(limits()):
+            sols.append(tuple(sol.vectors[0]))
+            if len(sols) >= 2:
+                break
+        assert len(sols) == 2 and sols[0] != sols[1]
+
+
+class TestJustifyMode:
+    def test_single_frame_justify(self):
+        cc = compile_circuit(s27())
+        # G7's D input is G13 = NOR(G2, G12); G7=1 needs G2=0 and G12=0
+        engine = PodemEngine(cc, targets={"G7": 1})
+        sol = engine.run(limits())
+        assert sol is not None
+        vec = sol.vectors[0]
+        assert vec[2] == 0  # G2 must be 0
+
+    def test_justify_impossible_value(self):
+        c = Circuit("never")
+        c.add_input("a")
+        c.add_gate("zero", GateType.CONST0, [])
+        c.add_gate("q", GateType.DFF, ["zero"])
+        c.add_gate("y", GateType.BUF, ["q"])
+        c.add_gate("k", GateType.AND, ["a", "y"])
+        c.add_output("k")
+        cc = compile_circuit(c)
+        engine = PodemEngine(cc, targets={"q": 1})
+        assert engine.run(limits()) is None
+        assert engine.status is SearchStatus.EXHAUSTED
+
+    def test_justify_carries_state_requirement(self):
+        cc = compile_circuit(gray_fsm())
+        # s1' = s0 (via BUF s0d): requiring s1=1 needs previous s0=1
+        engine = PodemEngine(cc, targets={"s1": 1})
+        sol = engine.run(limits())
+        assert sol is not None
+        assert sol.required_state == {"s0": 1}
+
+    def test_mode_arguments_validated(self):
+        cc = compile_circuit(s27())
+        with pytest.raises(ValueError):
+            PodemEngine(cc)  # neither fault nor targets
+        with pytest.raises(ValueError):
+            PodemEngine(cc, fault=Fault("G0", 0), targets={"G5": 1})
+        with pytest.raises(ValueError):
+            PodemEngine(cc, targets={"G14": 1})  # not a flip-flop

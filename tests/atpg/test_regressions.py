@@ -1,0 +1,111 @@
+"""Regression tests for soundness bugs found by property-based fuzzing.
+
+Each test pins the minimal counterexample that exposed a real defect, so
+the fix can never silently regress.
+"""
+
+import pytest
+
+from repro.atpg.hitec import SequentialTestGenerator
+from repro.atpg.hitec import TestGenStatus as GenStatus
+from repro.atpg.justify import JustifyStatus, justify_state
+from repro.atpg.podem import Limits, PodemEngine
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.encoding import X
+from repro.simulation.fault_sim import FaultSimulator
+
+
+def and_loop_circuit() -> Circuit:
+    """g0 = AND(ff0, ff1); ff0 = DFF(g0); ff1 = DFF(pi0); PO = g0.
+
+    ``ff0 = 1`` is unreachable from power-up X (the AND loop can never
+    become a definite 1), but ``ff0 = 0`` is reachable *only* through the
+    minimal requirement {ff1 = 0}: requiring {ff0 = 0} of the previous
+    frame loops, and {ff0 = 1, ff1 = 0} contains the unreachable bit.
+    """
+    c = Circuit("and_loop")
+    c.add_input("pi0")
+    c.add_gate("g0", GateType.AND, ["ff0", "ff1"])
+    c.add_gate("ff0", GateType.DFF, ["g0"])
+    c.add_gate("ff1", GateType.DFF, ["pi0"])
+    c.add_output("g0")
+    return c
+
+
+class TestRequirementMinimisation:
+    """PODEM must not over-constrain the frame-0 state (bug #2)."""
+
+    def test_justify_through_minimal_requirement(self):
+        cc = compile_circuit(and_loop_circuit())
+        res = justify_state(cc, {"ff0": 0}, max_depth=8, limits=Limits(5000))
+        assert res.status is JustifyStatus.JUSTIFIED
+
+    def test_faults_on_the_loop_are_detected(self):
+        circuit = and_loop_circuit()
+        cc = compile_circuit(circuit)
+        gen = SequentialTestGenerator(cc, max_frames=6)
+        sim = FaultSimulator(cc)
+
+        def justifier(required):
+            return justify_state(cc, required, 8, Limits(5000))
+
+        for fault in (Fault("g0", 1), Fault("ff0", 1)):
+            res = gen.generate(fault, justifier, Limits(5000))
+            assert res.status is GenStatus.DETECTED, str(fault)
+            vectors = [[0 if v == X else v for v in vec] for vec in res.sequence]
+            assert fault in sim.run(vectors, [fault]).detected
+
+    def test_unreachable_state_still_proven(self):
+        cc = compile_circuit(and_loop_circuit())
+        res = justify_state(cc, {"ff0": 1}, max_depth=8, limits=Limits(20000))
+        assert res.status is JustifyStatus.EXHAUSTED
+
+    def test_minimised_solution_requirement(self):
+        cc = compile_circuit(and_loop_circuit())
+        engine = PodemEngine(cc, targets={"ff0": 0})
+        requirements = [
+            sol.required_state for sol in engine.solutions(Limits(5000))
+        ]
+        assert {"ff1": 0} in requirements  # the minimal option must appear
+
+
+class TestWindowEdgeSoundness:
+    """An X-path dying at the window edge is not untestability (bug #1)."""
+
+    def test_pi_fault_needing_two_frames(self):
+        """s27's G2 s-a-0 propagates only through a flip-flop."""
+        from repro.circuits import s27
+
+        cc = compile_circuit(s27())
+        engine1 = PodemEngine(cc, fault=Fault("G2", 0), num_frames=1)
+        assert engine1.run(Limits(10_000)) is None
+        assert engine1.window_hit, "the 1-frame failure must blame the window"
+        engine2 = PodemEngine(cc, fault=Fault("G2", 0), num_frames=2)
+        assert engine2.run(Limits(10_000)) is not None
+
+
+class TestObservePpo:
+    """Scan mode observes captured state (bug #3: X-path ignored PPOs)."""
+
+    def _capture_only(self) -> Circuit:
+        c = Circuit("capture_only")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.AND, ["a", "b"])
+        c.add_gate("q", GateType.DFF, ["g"])
+        c.add_gate("y", GateType.BUF, ["q"])
+        c.add_output("y")
+        return c
+
+    def test_fault_on_d_cone_detectable_with_ppo(self):
+        cc = compile_circuit(self._capture_only())
+        fault = Fault("g", 0)
+        blind = PodemEngine(cc, fault=fault, num_frames=1)
+        assert blind.run(Limits(1000)) is None  # PO is one frame too late
+        seeing = PodemEngine(cc, fault=fault, num_frames=1, observe_ppo=True)
+        sol = seeing.run(Limits(1000))
+        assert sol is not None
+        assert sol.vectors[0] == [1, 1]

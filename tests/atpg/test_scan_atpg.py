@@ -1,0 +1,67 @@
+"""Tests for the scan-based test generator."""
+
+import pytest
+
+from repro.analysis import evaluate_test_set
+from repro.atpg.scan_atpg import ScanAtpgParams, ScanTestGenerator
+from repro.circuits import gray_fsm, s27, two_stage_pipeline
+from repro.faults.collapse import collapse_faults
+
+
+class TestScanFlow:
+    @pytest.fixture(scope="class")
+    def result(self):
+        gen = ScanTestGenerator(s27())
+        return gen, gen.run(ScanAtpgParams())
+
+    def test_full_classification_on_s27(self, result):
+        gen, res = result
+        stats = res.passes[-1]
+        assert stats.detected + stats.untestable == res.total_faults
+        assert stats.aborted == 0
+
+    def test_claims_verified_by_resimulation(self, result):
+        gen, res = result
+        report = evaluate_test_set(
+            gen.scanned, res.test_set, collapse_faults(gen.scanned)
+        )
+        assert set(report.detected) == set(res.detected)
+
+    def test_tests_follow_the_scan_protocol(self, result):
+        """Every block is load(n) + capture + unload(n) cycles."""
+        gen, res = result
+        expected = 2 * gen.chain.length + 1
+        boundaries = res.blocks + [len(res.test_set)]
+        for start, end in zip(boundaries, boundaries[1:]):
+            assert (end - start) % expected == 0
+
+    def test_scan_enable_driven_during_shift(self, result):
+        gen, res = result
+        se_pos = gen.scanned.inputs.index("scan_enable")
+        first_block = res.test_set[: gen.chain.length]
+        assert all(vec[se_pos] == 1 for vec in first_block)
+
+    def test_generator_label(self, result):
+        _, res = result
+        assert res.generator == "SCAN"
+
+
+class TestScanBeatsSequentialHardCases:
+    def test_gray_fsm_reset_fault_becomes_classifiable(self):
+        """rst s-a-0 is undetectable sequentially (X-lock); scan fixes it."""
+        gen = ScanTestGenerator(gray_fsm())
+        res = gen.run(ScanAtpgParams())
+        from repro.faults.model import Fault
+
+        assert Fault("rst", 0) in res.detected
+
+    def test_pipeline(self):
+        gen = ScanTestGenerator(two_stage_pipeline())
+        res = gen.run(ScanAtpgParams())
+        stats = res.passes[-1]
+        assert stats.detected + stats.untestable == res.total_faults
+
+    def test_time_limit_stops_early(self):
+        gen = ScanTestGenerator(s27())
+        res = gen.run(ScanAtpgParams(time_limit=0.0))
+        assert res.test_set == []

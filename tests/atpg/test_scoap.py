@@ -1,0 +1,107 @@
+"""Tests for the SCOAP-style testability measures."""
+
+from repro.atpg.scoap import HARD, compute_testability
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuits import s27
+from repro.simulation.compiled import compile_circuit
+
+
+def measures(circuit):
+    cc = compile_circuit(circuit)
+    return cc, compute_testability(cc)
+
+
+class TestControllability:
+    def test_primary_inputs_cost_one(self):
+        cc, m = measures(s27())
+        for i in cc.pi:
+            assert m.cc0[i] == 1 and m.cc1[i] == 1
+
+    def test_ppi_cost_applied(self):
+        cc, m = measures(s27())
+        for i in cc.ff_out:
+            assert m.cc0[i] == 50 and m.cc1[i] == 50
+
+    def test_and_gate_formulas(self):
+        c = Circuit("and")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.AND, ["a", "b"])
+        c.add_output("y")
+        cc, m = measures(c)
+        y = cc.index["y"]
+        assert m.cc0[y] == 2  # min(1, 1) + 1
+        assert m.cc1[y] == 3  # 1 + 1 + 1
+
+    def test_xor_parity_fold(self):
+        c = Circuit("xor")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XOR, ["a", "b"])
+        c.add_output("y")
+        cc, m = measures(c)
+        y = cc.index["y"]
+        assert m.cc0[y] == 3  # both 0 (1+1) or both 1 (1+1), +1
+        assert m.cc1[y] == 3
+
+    def test_constants(self):
+        c = Circuit("const")
+        c.add_input("a")
+        c.add_gate("one", GateType.CONST1, [])
+        c.add_gate("y", GateType.AND, ["a", "one"])
+        c.add_output("y")
+        cc, m = measures(c)
+        one = cc.index["one"]
+        assert m.cc1[one] == 0
+        assert m.cc0[one] >= HARD
+
+    def test_deeper_logic_costs_more(self):
+        c = Circuit("chainy")
+        c.add_input("a")
+        prev = "a"
+        costs = []
+        cc0_prev = None
+        for i in range(4):
+            c.add_gate(f"n{i}", GateType.BUF, [prev])
+            prev = f"n{i}"
+        c.add_output(prev)
+        cc, m = measures(c)
+        chain = [cc.index[f"n{i}"] for i in range(4)]
+        assert m.cc1[chain[0]] < m.cc1[chain[1]] < m.cc1[chain[3]]
+
+
+class TestObservability:
+    def test_po_cost_zero(self):
+        cc, m = measures(s27())
+        for i in cc.po:
+            assert m.co[i] == 0
+
+    def test_ppo_cost(self):
+        c = Circuit("ppo")
+        c.add_input("a")
+        c.add_gate("q", GateType.DFF, ["a"])
+        c.add_gate("y", GateType.BUF, ["q"])
+        c.add_output("y")
+        cc, m = measures(c)
+        assert m.co[cc.index["a"]] == 30  # observed only through the D pin
+
+    def test_side_input_cost_added(self):
+        c = Circuit("side")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.AND, ["a", "b"])
+        c.add_output("y")
+        cc, m = measures(c)
+        # observing a requires setting b=1 (cc1[b]=1), plus depth 1
+        assert m.co[cc.index["a"]] == 2
+
+    def test_every_s27_net_is_observable(self):
+        cc, m = measures(s27())
+        assert all(m.co[i] < HARD for i in range(cc.num_nets))
+
+    def test_cc_accessor(self):
+        cc, m = measures(s27())
+        i = cc.pi[0]
+        assert m.cc(i, 0) == m.cc0[i]
+        assert m.cc(i, 1) == m.cc1[i]

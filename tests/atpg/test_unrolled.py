@@ -1,0 +1,169 @@
+"""Tests for the unrolled time-frame model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg.unrolled import UnrolledModel
+from repro.atpg.values import D, DBAR, XX, good_of, is_d, make9
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuits import s27, two_stage_pipeline
+from repro.faults.model import Fault
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.encoding import X
+
+from ..conftest import random_circuits
+
+
+class TestBasics:
+    def test_initial_all_x(self):
+        cc = compile_circuit(s27())
+        model = UnrolledModel(cc, None, num_frames=2)
+        for frame in range(2):
+            for i in cc.pi:
+                assert model.good(frame, i) == X
+
+    def test_leaves(self):
+        cc = compile_circuit(s27())
+        model = UnrolledModel(cc, None, num_frames=2)
+        pi = cc.pi[0]
+        ff = cc.ff_out[0]
+        assert model.is_leaf(0, pi) and model.is_leaf(1, pi)
+        assert model.is_leaf(0, ff)
+        assert not model.is_leaf(1, ff)  # frame-1 state comes from frame 0
+
+    def test_assign_propagates(self):
+        cc = compile_circuit(s27())
+        model = UnrolledModel(cc, None, num_frames=1)
+        # G14 = NOT(G0)
+        model.assign(0, cc.index["G0"], 1)
+        assert model.good(0, cc.index["G14"]) == 0
+
+    def test_assign_non_leaf_rejected(self):
+        cc = compile_circuit(s27())
+        model = UnrolledModel(cc, None, num_frames=1)
+        with pytest.raises(ValueError):
+            model.assign(0, cc.index["G14"], 1)
+
+    def test_frame_boundary_latching(self):
+        cc = compile_circuit(two_stage_pipeline())
+        model = UnrolledModel(cc, None, num_frames=3)
+        model.assign(0, cc.index["a"], 1)
+        # f1's frame-1 output equals a's frame-0 value, f2 lags one more
+        assert model.good(1, cc.index["f1"]) == 1
+        assert model.good(2, cc.index["f2"]) == 1
+        assert model.good(1, cc.index["f2"]) == X
+
+
+class TestUndo:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_unassign_restores_exact_state(self, data):
+        circuit = data.draw(random_circuits(max_pi=3, max_ff=2, max_gates=8))
+        cc = compile_circuit(circuit)
+        model = UnrolledModel(cc, None, num_frames=2)
+        snapshot = ([list(f) for f in model.v1], [list(f) for f in model.v0])
+        leaves = [(f, i) for f in range(2) for i in cc.pi]
+        leaves += [(0, i) for i in cc.ff_out]
+        n = data.draw(st.integers(1, min(4, len(leaves))))
+        undos = []
+        for k in range(n):
+            frame, idx = leaves[data.draw(st.integers(0, len(leaves) - 1))]
+            if model.good(frame, idx) != X:
+                continue
+            undos.append(model.assign(frame, idx, data.draw(st.integers(0, 1))))
+        for undo in reversed(undos):
+            model.unassign(undo)
+        assert model.v1 == snapshot[0]
+        assert model.v0 == snapshot[1]
+
+
+class TestFaultInjection:
+    def test_stem_fault_shows_d_when_excited(self):
+        cc = compile_circuit(s27())
+        model = UnrolledModel(cc, Fault("G0", 0), num_frames=1)
+        assert not model.fault_excited(0)
+        model.assign(0, cc.index["G0"], 1)
+        assert model.fault_excited(0)
+        assert is_d(model.value(0, cc.index["G0"]))
+
+    def test_excitation_impossible_when_site_fixed(self):
+        cc = compile_circuit(s27())
+        model = UnrolledModel(cc, Fault("G0", 1), num_frames=1)
+        model.assign(0, cc.index["G0"], 1)
+        assert not model.excitation_possible(0)
+
+    def test_fault_present_in_every_frame(self):
+        cc = compile_circuit(two_stage_pipeline())
+        model = UnrolledModel(cc, Fault("a", 0), num_frames=2)
+        model.assign(1, cc.index["a"], 1)
+        assert is_d(model.value(1, cc.index["a"]))
+
+    def test_branch_fault_only_affects_reader(self):
+        c = Circuit("branch")
+        c.add_input("a")
+        c.add_gate("y1", GateType.BUF, ["a"])
+        c.add_gate("y2", GateType.BUF, ["a"])
+        c.add_output("y1")
+        c.add_output("y2")
+        cc = compile_circuit(c)
+        model = UnrolledModel(cc, Fault("a", 0, gate="y1", pin=0), num_frames=1)
+        model.assign(0, cc.index["a"], 1)
+        assert is_d(model.value(0, cc.index["y1"]))
+        assert model.good(0, cc.index["y2"]) == 1
+        assert not is_d(model.value(0, cc.index["y2"]))
+
+
+class TestQueries:
+    def test_detection_at_po(self):
+        c = Circuit("direct")
+        c.add_input("a")
+        c.add_gate("y", GateType.BUF, ["a"])
+        c.add_output("y")
+        cc = compile_circuit(c)
+        model = UnrolledModel(cc, Fault("a", 0), num_frames=1)
+        assert model.detected_at() is None
+        model.assign(0, cc.index["a"], 1)
+        assert model.detected_at() == (0, cc.index["y"])
+
+    def test_d_frontier_and_x_path(self):
+        c = Circuit("front")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.AND, ["a", "b"])
+        c.add_output("y")
+        cc = compile_circuit(c)
+        model = UnrolledModel(cc, Fault("a", 0), num_frames=1)
+        model.assign(0, cc.index["a"], 1)
+        frontier = model.d_frontier()
+        assert frontier == [(0, cc.gate_of[cc.index["y"]])]
+        assert model.x_path_exists(frontier)
+        # blocking side input kills the frontier
+        undo = model.assign(0, cc.index["b"], 0)
+        assert model.d_frontier() == []
+        model.unassign(undo)
+        model.assign(0, cc.index["b"], 1)
+        assert model.detected_at() is not None
+
+    def test_window_edge_detection(self):
+        cc = compile_circuit(two_stage_pipeline())
+        model = UnrolledModel(cc, Fault("a", 0), num_frames=1)
+        model.assign(0, cc.index["a"], 1)
+        # D sits at f1's D input (net a) — the window is the only obstacle
+        assert model.d_reaches_window_edge()
+
+    def test_required_state_extraction(self):
+        cc = compile_circuit(s27())
+        model = UnrolledModel(cc, None, num_frames=1)
+        model.assign(0, cc.index["G5"], 1)
+        model.assign(0, cc.index["G7"], 0)
+        assert model.required_state() == {"G5": 1, "G7": 0}
+
+    def test_extract_vectors(self):
+        cc = compile_circuit(s27())
+        model = UnrolledModel(cc, None, num_frames=2)
+        model.assign(0, cc.index["G0"], 1)
+        model.assign(1, cc.index["G3"], 0)
+        vectors = model.extract_vectors(1)
+        assert vectors[0][0] == 1 and vectors[1][3] == 0
+        assert vectors[0][1] == X

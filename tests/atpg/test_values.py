@@ -1,0 +1,65 @@
+"""Tests for the nine-valued algebra helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.atpg.values import (
+    D,
+    DBAR,
+    MASK2,
+    ONE,
+    XX,
+    ZERO,
+    faulty_of,
+    good_of,
+    has_x,
+    is_d,
+    is_known,
+    make9,
+    show9,
+)
+from repro.simulation.encoding import X
+
+SCALARS = [0, 1, X]
+
+
+class TestConstants:
+    def test_named_values(self):
+        assert good_of(ZERO) == 0 and faulty_of(ZERO) == 0
+        assert good_of(ONE) == 1 and faulty_of(ONE) == 1
+        assert good_of(D) == 1 and faulty_of(D) == 0
+        assert good_of(DBAR) == 0 and faulty_of(DBAR) == 1
+        assert good_of(XX) == X and faulty_of(XX) == X
+
+    def test_d_detection(self):
+        assert is_d(D) and is_d(DBAR)
+        assert not is_d(ZERO) and not is_d(ONE) and not is_d(XX)
+        assert not is_d(make9(1, X))
+
+    def test_known_and_x(self):
+        assert is_known(D) and is_known(ZERO)
+        assert not is_known(make9(1, X))
+        assert has_x(XX) and has_x(make9(0, X))
+        assert not has_x(D)
+
+
+class TestRoundtrip:
+    @given(st.sampled_from(SCALARS), st.sampled_from(SCALARS))
+    def test_make9_components(self, g, f):
+        v = make9(g, f)
+        assert good_of(v) == g
+        assert faulty_of(v) == f
+
+    @given(st.sampled_from(SCALARS), st.sampled_from(SCALARS))
+    def test_values_fit_mask(self, g, f):
+        p1, p0 = make9(g, f)
+        assert p1 | p0 <= MASK2
+
+
+class TestShow:
+    def test_names(self):
+        assert show9(ZERO) == "0"
+        assert show9(ONE) == "1"
+        assert show9(D) == "D"
+        assert show9(DBAR) == "D'"
+        assert show9(XX) == "X"
+        assert show9(make9(1, X)) == "1/x"

@@ -1,0 +1,94 @@
+"""Tests for the ISCAS89 .bench parser and writer."""
+
+import pytest
+
+from repro.circuit.bench import (
+    BenchParseError,
+    parse_bench,
+    save_bench,
+    load_bench,
+    write_bench,
+)
+from repro.circuit.gates import GateType
+from repro.circuits.s27 import S27_BENCH, s27
+
+
+class TestParse:
+    def test_s27_structure(self):
+        c = parse_bench(S27_BENCH, "s27")
+        assert c.inputs == ["G0", "G1", "G2", "G3"]
+        assert c.outputs == ["G17"]
+        assert c.flops == ["G5", "G6", "G7"]
+        assert c.num_gates == 10
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a comment
+        INPUT(a)   # trailing comment
+
+        OUTPUT(y)
+        y = NOT(a)
+        """
+        c = parse_bench(text)
+        assert c.inputs == ["a"] and c.outputs == ["y"]
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(y)\ny = not(a)\n"
+        c = parse_bench(text)
+        assert c.gates["y"].gtype is GateType.NOT
+
+    def test_buff_alias(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+        assert c.gates["y"].gtype is GateType.BUF
+
+    def test_definitions_in_any_order(self):
+        text = "OUTPUT(y)\ny = AND(a, b)\nINPUT(a)\nINPUT(b)\n"
+        c = parse_bench(text)
+        assert c.gates["y"].inputs == ("a", "b")
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchParseError, match="unknown gate"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_undeclared_output(self):
+        with pytest.raises(BenchParseError, match="undeclared"):
+            parse_bench("INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n")
+
+    def test_undeclared_gate_input(self):
+        with pytest.raises(BenchParseError, match="undeclared"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_duplicate_driver(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchParseError, match="unrecognised"):
+            parse_bench("INPUT(a)\nwhat is this\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(BenchParseError) as exc:
+            parse_bench("INPUT(a)\n\nzzz\n")
+        assert exc.value.line_no == 3
+
+
+class TestWrite:
+    def test_roundtrip_s27(self):
+        original = s27()
+        text = write_bench(original)
+        again = parse_bench(text, "s27")
+        assert again.inputs == original.inputs
+        assert again.outputs == original.outputs
+        assert again.gates == original.gates
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "s27.bench")
+        save_bench(s27(), path)
+        loaded = load_bench(path)
+        assert loaded.name == "s27"
+        assert loaded.gates == s27().gates
+
+    def test_load_uses_file_stem_as_name(self, tmp_path):
+        path = str(tmp_path / "mychip.bench")
+        save_bench(s27(), path)
+        assert load_bench(path).name == "mychip"

@@ -1,0 +1,103 @@
+"""Unit tests for gate primitives and scalar evaluation."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.gates import (
+    CONTROLLING_VALUE,
+    GateType,
+    INVERSION,
+    eval_gate,
+    valid_arity,
+)
+
+
+class TestArity:
+    def test_unary_gates_take_exactly_one_input(self):
+        for gtype in (GateType.NOT, GateType.BUF, GateType.DFF):
+            assert valid_arity(gtype, 1)
+            assert not valid_arity(gtype, 0)
+            assert not valid_arity(gtype, 2)
+
+    def test_constants_take_no_inputs(self):
+        for gtype in (GateType.CONST0, GateType.CONST1):
+            assert valid_arity(gtype, 0)
+            assert not valid_arity(gtype, 1)
+
+    def test_nary_gates_take_one_or_more(self):
+        for gtype in (GateType.AND, GateType.OR, GateType.XOR, GateType.NOR):
+            assert not valid_arity(gtype, 0)
+            assert valid_arity(gtype, 1)
+            assert valid_arity(gtype, 5)
+
+
+class TestEvalGate:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_and_truth_table(self, n):
+        for bits in itertools.product([0, 1], repeat=n):
+            assert eval_gate(GateType.AND, list(bits)) == int(all(bits))
+            assert eval_gate(GateType.NAND, list(bits)) == int(not all(bits))
+            assert eval_gate(GateType.OR, list(bits)) == int(any(bits))
+            assert eval_gate(GateType.NOR, list(bits)) == int(not any(bits))
+            assert eval_gate(GateType.XOR, list(bits)) == sum(bits) % 2
+            assert eval_gate(GateType.XNOR, list(bits)) == 1 - sum(bits) % 2
+
+    def test_unary(self):
+        assert eval_gate(GateType.NOT, [0]) == 1
+        assert eval_gate(GateType.NOT, [1]) == 0
+        assert eval_gate(GateType.BUF, [0]) == 0
+        assert eval_gate(GateType.BUF, [1]) == 1
+
+    def test_constants(self):
+        assert eval_gate(GateType.CONST0, []) == 0
+        assert eval_gate(GateType.CONST1, []) == 1
+
+    def test_dff_has_no_combinational_function(self):
+        with pytest.raises(ValueError):
+            eval_gate(GateType.DFF, [0])
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            eval_gate(GateType.NOT, [0, 1])
+
+
+class TestMetadata:
+    def test_controlling_values(self):
+        assert CONTROLLING_VALUE[GateType.AND] == 0
+        assert CONTROLLING_VALUE[GateType.NAND] == 0
+        assert CONTROLLING_VALUE[GateType.OR] == 1
+        assert CONTROLLING_VALUE[GateType.NOR] == 1
+        assert CONTROLLING_VALUE[GateType.XOR] is None
+
+    def test_controlling_value_dominates(self):
+        """A single controlling input forces the output regardless of others."""
+        for gtype, ctrl in CONTROLLING_VALUE.items():
+            if ctrl is None or gtype is GateType.DFF:
+                continue
+            forced = eval_gate(gtype, [ctrl, 0]) if gtype else None
+            assert eval_gate(gtype, [ctrl, 0]) == eval_gate(gtype, [ctrl, 1])
+
+    def test_inversion_parity(self):
+        assert INVERSION[GateType.AND] == 0
+        assert INVERSION[GateType.NAND] == 1
+        assert INVERSION[GateType.NOT] == 1
+        assert INVERSION[GateType.BUF] == 0
+
+    def test_inversion_consistent_with_eval(self):
+        pairs = [
+            (GateType.AND, GateType.NAND),
+            (GateType.OR, GateType.NOR),
+            (GateType.XOR, GateType.XNOR),
+        ]
+        for plain, inverted in pairs:
+            for bits in itertools.product([0, 1], repeat=2):
+                assert eval_gate(plain, list(bits)) == 1 - eval_gate(
+                    inverted, list(bits)
+                )
+
+    def test_sequential_flag(self):
+        assert GateType.DFF.is_sequential
+        assert not GateType.AND.is_sequential
+        assert GateType.CONST0.is_constant
+        assert not GateType.NOT.is_constant

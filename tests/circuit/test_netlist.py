@@ -1,0 +1,175 @@
+"""Unit tests for the Circuit netlist model."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError, Gate, connected_nets
+
+
+def build_simple() -> Circuit:
+    c = Circuit("simple")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("n1", GateType.AND, ["a", "b"])
+    c.add_gate("n2", GateType.NOT, ["n1"])
+    c.add_output("n2")
+    return c
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        c = Circuit("x")
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.add_input("a")
+
+    def test_duplicate_driver_rejected(self):
+        c = build_simple()
+        with pytest.raises(CircuitError):
+            c.add_gate("n1", GateType.OR, ["a"])
+
+    def test_gate_driving_an_input_rejected(self):
+        c = build_simple()
+        with pytest.raises(CircuitError):
+            c.add_gate("a", GateType.NOT, ["b"])
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("x", GateType.NOT, ("a", "b"))
+        with pytest.raises(CircuitError):
+            Gate("x", GateType.CONST0, ("a",))
+
+    def test_forward_references_allowed(self):
+        c = Circuit("fwd")
+        c.add_input("a")
+        c.add_gate("y", GateType.AND, ["a", "later"])
+        c.add_gate("later", GateType.NOT, ["a"])
+        c.add_output("y")
+        assert set(c.topo_order) == {"y", "later"}
+
+
+class TestQueries:
+    def test_nets_order(self):
+        c = build_simple()
+        assert c.nets == ["a", "b", "n1", "n2"]
+
+    def test_flops_and_gate_count(self):
+        c = build_simple()
+        c.add_gate("q", GateType.DFF, ["n1"])
+        assert c.flops == ["q"]
+        assert c.num_gates == 2  # DFF not counted as a combinational gate
+
+    def test_driver_lookup(self):
+        c = build_simple()
+        assert c.driver("a") is None
+        assert c.driver("n1").gtype is GateType.AND
+
+    def test_fanout(self):
+        c = build_simple()
+        assert c.fanout["n1"] == [("n2", 0)]
+        assert c.fanout["a"] == [("n1", 0)]
+
+    def test_fanout_undeclared_net_raises(self):
+        c = Circuit("bad")
+        c.add_input("a")
+        c.add_gate("y", GateType.NOT, ["ghost"])
+        with pytest.raises(CircuitError):
+            c.fanout
+
+
+class TestLevels:
+    def test_levels_simple(self):
+        c = build_simple()
+        assert c.levels["a"] == 0
+        assert c.levels["n1"] == 1
+        assert c.levels["n2"] == 2
+        assert c.max_level == 2
+
+    def test_dff_output_is_level_zero(self):
+        c = build_simple()
+        c.add_gate("q", GateType.DFF, ["n2"])
+        c.add_gate("n3", GateType.NOT, ["q"])
+        c.add_output("n3")
+        assert c.levels["q"] == 0
+        assert c.levels["n3"] == 1
+
+    def test_combinational_cycle_detected(self):
+        c = Circuit("cyc")
+        c.add_input("a")
+        c.add_gate("x", GateType.AND, ["a", "y"])
+        c.add_gate("y", GateType.NOT, ["x"])
+        c.add_output("y")
+        with pytest.raises(CircuitError):
+            c.topo_order
+
+    def test_dff_breaks_cycles(self):
+        c = Circuit("seq_cycle")
+        c.add_input("a")
+        c.add_gate("x", GateType.AND, ["a", "q"])
+        c.add_gate("q", GateType.DFF, ["x"])
+        c.add_output("x")
+        assert c.topo_order == ["x"]
+
+
+class TestSequentialDepth:
+    def test_no_flops(self):
+        c = build_simple()
+        assert c.sequential_depth == 0
+
+    def test_chain(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        prev = "a"
+        for i in range(5):
+            c.add_gate(f"q{i}", GateType.DFF, [prev])
+            prev = f"q{i}"
+        c.add_gate("y", GateType.BUF, [prev])
+        c.add_output("y")
+        assert c.sequential_depth == 5
+
+    def test_self_loop_counts_once(self):
+        c = Circuit("loop")
+        c.add_input("a")
+        c.add_gate("d", GateType.XOR, ["a", "q"])
+        c.add_gate("q", GateType.DFF, ["d"])
+        c.add_gate("y", GateType.BUF, ["q"])
+        c.add_output("y")
+        assert c.sequential_depth == 1
+
+    def test_deep_chain_no_recursion_error(self):
+        c = Circuit("deep")
+        c.add_input("a")
+        prev = "a"
+        for i in range(3000):
+            c.add_gate(f"q{i}", GateType.DFF, [prev])
+            prev = f"q{i}"
+        c.add_output(prev)
+        assert c.sequential_depth == 3000
+
+
+class TestMisc:
+    def test_stats(self, s27_circuit):
+        stats = s27_circuit.stats()
+        assert stats == {
+            "inputs": 4,
+            "outputs": 1,
+            "flops": 3,
+            "gates": 10,
+            "levels": 6,
+            "sequential_depth": 3,
+        }
+
+    def test_copy_independent(self):
+        c = build_simple()
+        c2 = c.copy("copy")
+        c2.add_gate("extra", GateType.NOT, ["a"])
+        c2.add_output("extra")
+        assert "extra" not in c.gates
+        assert c2.name == "copy"
+
+    def test_connected_nets(self):
+        c = build_simple()
+        c.add_gate("island", GateType.NOT, ["b"])
+        cone = connected_nets(c, ["n2"])
+        assert cone == {"n2", "n1", "a", "b"}
+        assert "island" not in cone

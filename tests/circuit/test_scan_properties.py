@@ -1,0 +1,68 @@
+"""Property tests for scan insertion on random circuits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.scan import SCAN_ENABLE, SCAN_IN, insert_scan
+from repro.circuit.validate import validate
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.encoding import pack_const, unpack
+from repro.simulation.logic_sim import FrameSimulator
+
+from ..conftest import random_circuits
+
+
+class TestScanProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_functional_mode_equivalence(self, data):
+        """scan_enable=0 makes the scanned circuit behave identically."""
+        circuit = data.draw(random_circuits(max_pi=3, max_ff=3, max_gates=8))
+        if not circuit.flops:
+            return
+        scanned, chain = insert_scan(circuit)
+        new_problems = [p for p in validate(scanned) if "dangling" not in p]
+        assert new_problems == []
+        sim_o = FrameSimulator(circuit, width=1)
+        sim_s = FrameSimulator(scanned, width=1)
+        for _ in range(data.draw(st.integers(1, 6))):
+            vec = {pi: data.draw(st.integers(0, 1)) for pi in circuit.inputs}
+            out_o = sim_o.step({k: pack_const(v, 1) for k, v in vec.items()})
+            svec = dict(vec)
+            svec[SCAN_ENABLE] = 0
+            svec[SCAN_IN] = data.draw(st.integers(0, 1))
+            out_s = sim_s.step({k: pack_const(v, 1) for k, v in svec.items()})
+            assert out_o == out_s[: len(out_o)]
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_shift_mode_is_a_pure_delay_line(self, data):
+        """scan_enable=1 turns the flip-flops into a shift register."""
+        circuit = data.draw(random_circuits(max_pi=2, max_ff=3, max_gates=6))
+        if not circuit.flops:
+            return
+        scanned, chain = insert_scan(circuit)
+        sim = FrameSimulator(scanned, width=1)
+        bits = [data.draw(st.integers(0, 1)) for _ in range(chain.length + 3)]
+        seen = []
+        for bit in bits:
+            vec = {pi: 0 for pi in circuit.inputs}
+            vec[SCAN_ENABLE] = 1
+            vec[SCAN_IN] = bit
+            out = sim.step({k: pack_const(v, 1) for k, v in vec.items()})
+            seen.append(unpack(out[-1], 1)[0])  # scan_out is the last PO
+        # after the pipeline fills, scan_out = scan_in delayed by the chain
+        for i, bit in enumerate(bits):
+            j = i + chain.length
+            if j < len(bits):
+                assert seen[j] == bit
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_gate_overhead_is_three_per_flop(self, data):
+        circuit = data.draw(random_circuits(max_pi=2, max_ff=3, max_gates=6))
+        if not circuit.flops:
+            return
+        scanned, chain = insert_scan(circuit)
+        overhead = scanned.num_gates - circuit.num_gates
+        assert overhead == 3 * chain.length + 2  # muxes + inverter + buffer

@@ -1,0 +1,94 @@
+"""Tests for structural validation and the dead-logic sweep."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError
+from repro.circuit.transform import live_nets, sweep
+from repro.circuit.validate import check, validate
+from repro.circuits import s27
+
+
+def clean() -> Circuit:
+    c = Circuit("clean")
+    c.add_input("a")
+    c.add_gate("y", GateType.NOT, ["a"])
+    c.add_output("y")
+    return c
+
+
+class TestValidate:
+    def test_clean_circuit_has_no_problems(self):
+        assert validate(clean()) == []
+        assert validate(s27()) == []
+
+    def test_undeclared_input_reported(self):
+        c = clean()
+        c.gates["y2"] = c.gates["y"]  # sneak in a gate reading a ghost net
+        c.gates["y2"] = type(c.gates["y"])("y2", GateType.NOT, ("ghost",))
+        c.add_output("y2")
+        problems = validate(c)
+        assert any("ghost" in p for p in problems)
+
+    def test_undeclared_output_reported(self):
+        c = clean()
+        c.outputs.append("nothing")
+        assert any("nothing" in p for p in validate(c))
+
+    def test_dangling_net_reported(self):
+        c = clean()
+        c.add_gate("orphan", GateType.BUF, ["a"])
+        assert any("orphan" in p for p in validate(c))
+
+    def test_cycle_reported(self):
+        c = Circuit("cyc")
+        c.add_input("a")
+        c.add_gate("x", GateType.AND, ["a", "y"])
+        c.add_gate("y", GateType.NOT, ["x"])
+        c.add_output("y")
+        assert any("cycle" in p for p in validate(c))
+
+    def test_check_raises_and_returns(self):
+        assert check(clean()).name == "clean"
+        c = clean()
+        c.add_gate("orphan", GateType.BUF, ["a"])
+        with pytest.raises(CircuitError):
+            check(c)
+
+
+class TestSweep:
+    def test_sweep_removes_dead_gates(self):
+        c = clean()
+        c.add_gate("dead1", GateType.BUF, ["a"])
+        c.add_gate("dead2", GateType.NOT, ["dead1"])
+        swept = sweep(c)
+        assert "dead1" not in swept.gates
+        assert "dead2" not in swept.gates
+        assert validate(swept) == []
+
+    def test_sweep_keeps_live_flops(self):
+        c = Circuit("seq")
+        c.add_input("a")
+        c.add_gate("q", GateType.DFF, ["d"])
+        c.add_gate("d", GateType.XOR, ["a", "q"])
+        c.add_gate("y", GateType.BUF, ["q"])
+        c.add_output("y")
+        swept = sweep(c)
+        assert set(swept.gates) == {"q", "d", "y"}
+
+    def test_sweep_removes_dead_flops(self):
+        c = clean()
+        c.add_gate("qdead", GateType.DFF, ["a"])
+        swept = sweep(c)
+        assert "qdead" not in swept.gates
+
+    def test_sweep_preserves_interface(self):
+        c = clean()
+        c.add_input("unused_pi")
+        swept = sweep(c)
+        assert swept.inputs == ["a", "unused_pi"]
+        assert swept.outputs == ["y"]
+
+    def test_live_nets_of_s27_is_everything(self):
+        c = s27()
+        assert live_nets(c) == set(c.nets)

@@ -1,0 +1,111 @@
+"""Tests for structural Verilog interchange."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.verilog import (
+    VerilogError,
+    load_verilog,
+    parse_verilog,
+    save_verilog,
+    write_verilog,
+)
+from repro.circuits import am2910, s27
+
+from ..conftest import random_circuits
+
+
+class TestWrite:
+    def test_s27_contains_expected_constructs(self):
+        text = write_verilog(s27())
+        assert text.startswith("module s27 (")
+        assert "input G0, G1, G2, G3;" in text
+        assert "output G17;" in text
+        assert "dff" in text and ".q(G5)" in text
+        assert "endmodule" in text
+
+    def test_escaped_identifiers(self):
+        c = Circuit("weird")
+        c.add_input("1bad")
+        c.add_gate("and", GateType.NOT, ["1bad"])  # keyword as a net name
+        c.add_output("and")
+        text = write_verilog(c)
+        assert "\\1bad " in text
+        assert "\\and " in text
+
+    def test_constants(self):
+        c = Circuit("consts")
+        c.add_input("a")
+        c.add_gate("one", GateType.CONST1, [])
+        c.add_gate("y", GateType.AND, ["a", "one"])
+        c.add_output("y")
+        assert "supply1" in write_verilog(c)
+
+
+class TestRoundtrip:
+    def test_s27(self):
+        again = parse_verilog(write_verilog(s27()))
+        original = s27()
+        assert again.inputs == original.inputs
+        assert again.outputs == original.outputs
+        assert again.gates == original.gates
+        assert again.name == "s27"
+
+    def test_am2910(self):
+        original = am2910(width=4)
+        again = parse_verilog(write_verilog(original))
+        assert again.gates == original.gates
+
+    def test_escaped_roundtrip(self):
+        c = Circuit("weird")
+        c.add_input("1bad")
+        c.add_gate("and", GateType.NOT, ["1bad"])
+        c.add_output("and")
+        again = parse_verilog(write_verilog(c))
+        assert again.gates == c.gates
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_circuits(self, data):
+        circuit = data.draw(random_circuits())
+        again = parse_verilog(write_verilog(circuit))
+        assert again.inputs == circuit.inputs
+        assert again.outputs == circuit.outputs
+        assert again.gates == circuit.gates
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "c.v")
+        save_verilog(s27(), path)
+        assert load_verilog(path).gates == s27().gates
+
+
+class TestParseErrors:
+    def test_comments_ignored(self):
+        text = """// header
+        module m (a, y); /* block
+        comment */ input a; output y;
+        not u1 (y, a);
+        endmodule"""
+        c = parse_verilog(text)
+        assert c.gates["y"].gtype is GateType.NOT
+
+    def test_missing_endmodule(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("module m (a); input a;")
+
+    def test_unsupported_construct(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("module m (); assign y = a; endmodule")
+
+    def test_dff_needs_named_ports(self):
+        with pytest.raises(VerilogError):
+            parse_verilog(
+                "module m (a, y); input a; output y;"
+                "dff f (.q(y), .clk(a)); endmodule"
+            )
+
+    def test_undeclared_output(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("module m (a); input a; output ghost; endmodule")

@@ -1,0 +1,148 @@
+"""Exhaustive instruction-level tests for the Am2910 sequencer model."""
+
+import pytest
+
+from repro.circuits.synth.am2910 import (
+    CJP, CJPP, CJS, CJV, CONT, CRTN, JMAP, JRP, JSRP, JZ, LDCT, LOOP,
+    PUSH, RFCT, RPCT, TWB, am2910,
+)
+from repro.simulation.logic_sim import FrameSimulator
+
+from ..helpers import drive, frame_bus
+
+
+WIDTH = 6
+
+
+@pytest.fixture()
+def dut():
+    circuit = am2910(width=WIDTH)
+    sim = FrameSimulator(circuit, width=1)
+    drive(sim, circuit, instr=JZ, d=0, cc=0)  # reset: Y=0, uPC<-1
+    return circuit, sim
+
+
+def y_of(circuit, out):
+    return frame_bus(out, circuit.outputs[:WIDTH])
+
+
+def step(circuit, sim, instr, d=0, cc=0):
+    return y_of(circuit, drive(sim, circuit, instr=instr, d=d, cc=cc))
+
+
+class TestJumps:
+    def test_cjp_taken_and_not_taken(self, dut):
+        circuit, sim = dut
+        assert step(circuit, sim, CJP, d=30, cc=1) == 30
+        assert step(circuit, sim, CONT) == 31
+        assert step(circuit, sim, CJP, d=9, cc=0) == 32  # condition fails
+
+    def test_cjv_is_a_conditional_jump(self, dut):
+        circuit, sim = dut
+        assert step(circuit, sim, CJV, d=21, cc=1) == 21
+        assert step(circuit, sim, CJV, d=5, cc=0) == 22
+
+    def test_jrp_selects_register_or_direct(self, dut):
+        circuit, sim = dut
+        step(circuit, sim, LDCT, d=40)            # R <- 40
+        assert step(circuit, sim, JRP, d=50, cc=1) == 50   # cc: direct
+        step(circuit, sim, LDCT, d=40)
+        assert step(circuit, sim, JRP, d=50, cc=0) == 40   # !cc: register
+
+
+class TestSubroutines:
+    def test_jsrp_calls_via_register_or_direct(self, dut):
+        circuit, sim = dut
+        step(circuit, sim, LDCT, d=10)            # Y=uPC=1, R <- 10, uPC<-2
+        y = step(circuit, sim, JSRP, d=20, cc=0)  # call R, push uPC=2
+        assert y == 10
+        assert step(circuit, sim, CRTN, cc=1) == 2  # return to pushed uPC
+
+    def test_nested_calls_use_the_stack(self, dut):
+        circuit, sim = dut
+        step(circuit, sim, CONT)                  # Y=1
+        assert step(circuit, sim, CJS, d=10, cc=1) == 10  # push 2
+        assert step(circuit, sim, CJS, d=20, cc=1) == 20  # push 11
+        assert step(circuit, sim, CRTN, cc=1) == 11
+        assert step(circuit, sim, CRTN, cc=1) == 2
+
+    def test_crtn_not_taken_continues(self, dut):
+        circuit, sim = dut
+        step(circuit, sim, CONT)
+        step(circuit, sim, CJS, d=10, cc=1)
+        assert step(circuit, sim, CRTN, cc=0) == 11  # stays in subroutine
+
+    def test_push_saves_upc_and_loads_counter(self, dut):
+        circuit, sim = dut
+        step(circuit, sim, CONT)                    # Y=1, uPC<-2
+        assert step(circuit, sim, PUSH, d=7, cc=1) == 2   # Y=uPC, push, R<-7
+        step(circuit, sim, LOOP, cc=0)              # loop back to top=2
+        # R was loaded: RPCT now decrements from 7
+        assert step(circuit, sim, RPCT, d=2, cc=0) == 2
+
+
+class TestLoops:
+    def test_loop_until_condition(self, dut):
+        circuit, sim = dut
+        step(circuit, sim, CONT)                    # Y=1, uPC<-2
+        step(circuit, sim, PUSH, d=0, cc=0)         # push 2 (loop top)
+        assert step(circuit, sim, LOOP, cc=0) == 2  # repeat from stack
+        assert step(circuit, sim, LOOP, cc=0) == 2
+        y = step(circuit, sim, LOOP, cc=1)          # exit: continue + pop
+        assert y == 3
+
+    def test_rfct_repeats_from_stack_while_counter(self, dut):
+        circuit, sim = dut
+        step(circuit, sim, LDCT, d=2)               # R <- 2
+        step(circuit, sim, CONT)                    # Y=2, uPC<-3
+        step(circuit, sim, PUSH, d=0, cc=0)         # push 3
+        assert step(circuit, sim, RFCT, cc=0) == 3  # R=2: loop, R<-1
+        assert step(circuit, sim, RFCT, cc=0) == 3  # R=1: loop, R<-0
+        y = step(circuit, sim, RFCT, cc=0)          # R=0: fall through, pop
+        assert y == 4
+
+    def test_twb_three_way_branch(self, dut):
+        circuit, sim = dut
+        # cc true: continue (pop)
+        step(circuit, sim, LDCT, d=3)
+        step(circuit, sim, CONT)
+        step(circuit, sim, PUSH, d=0, cc=0)
+        assert step(circuit, sim, TWB, d=60, cc=1) == 4  # uPC path
+        # cc false with R != 0: loop from stack
+        step(circuit, sim, JZ)
+        step(circuit, sim, LDCT, d=1)
+        step(circuit, sim, CONT)                    # Y=2, uPC<-3
+        step(circuit, sim, PUSH, d=0, cc=0)         # push 3
+        assert step(circuit, sim, TWB, d=60, cc=0) == 3   # stack, R<-0
+        # cc false with R == 0: jump direct (pop)
+        assert step(circuit, sim, TWB, d=60, cc=0) == 60
+
+
+class TestStatusOutputs:
+    def test_map_and_vect_strobes(self, dut):
+        circuit, sim = dut
+        pl, mp, vect = circuit.outputs[WIDTH:WIDTH + 3]
+        out = drive(sim, circuit, instr=JMAP, d=0, cc=0)
+        assert out[mp] == 1 and out[vect] == 0 and out[pl] == 0
+        out = drive(sim, circuit, instr=CJV, d=0, cc=0)
+        assert out[vect] == 1 and out[mp] == 0
+        out = drive(sim, circuit, instr=CONT, d=0, cc=0)
+        assert out[pl] == 1
+
+    def test_full_flag_after_five_pushes(self, dut):
+        circuit, sim = dut
+        full = circuit.outputs[-1]
+        for i in range(5):
+            out = drive(sim, circuit, instr=PUSH, d=0, cc=0)
+        # flag registers depth at the *next* frame's read
+        out = drive(sim, circuit, instr=CONT, d=0, cc=0)
+        assert out[full] == 1
+
+    def test_jz_clears_the_stack_depth(self, dut):
+        circuit, sim = dut
+        full = circuit.outputs[-1]
+        for _ in range(5):
+            drive(sim, circuit, instr=PUSH, d=0, cc=0)
+        drive(sim, circuit, instr=JZ, d=0, cc=0)
+        out = drive(sim, circuit, instr=CONT, d=0, cc=0)
+        assert out[full] == 0

@@ -1,0 +1,122 @@
+"""Tests for the synthetic benchmark generators and the ISCAS89 registry."""
+
+import pytest
+
+from repro.circuit.validate import validate
+from repro.circuits.generators import counter, shift_register, synthetic_sequential
+from repro.circuits.iscas89 import ISCAS89_SPECS, QUICK_SET, available, iscas89
+from repro.circuits.s27 import s27
+from repro.simulation.encoding import pack_const, unpack
+from repro.simulation.logic_sim import FrameSimulator
+
+from ..helpers import drive
+
+
+class TestCounter:
+    def test_counts_with_clear(self):
+        c = counter(4)
+        sim = FrameSimulator(c, width=1)
+        drive(sim, c, en=0, clr=1)  # clear to 0
+        values = []
+        for _ in range(5):
+            out = drive(sim, c, en=1, clr=0)
+            values.append(sum(out[f"q{i}"] << i for i in range(4)))
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_wraps(self):
+        c = counter(2)
+        sim = FrameSimulator(c, width=1)
+        drive(sim, c, en=0, clr=1)
+        seen = []
+        for _ in range(6):
+            out = drive(sim, c, en=1, clr=0)
+            seen.append(sum(out[f"q{i}"] << i for i in range(2)))
+        assert seen == [0, 1, 2, 3, 0, 1]
+
+    def test_enable_freezes(self):
+        c = counter(3)
+        sim = FrameSimulator(c, width=1)
+        drive(sim, c, en=0, clr=1)
+        drive(sim, c, en=1, clr=0)
+        out = drive(sim, c, en=0, clr=0)
+        out = drive(sim, c, en=0, clr=0)
+        assert sum(out[f"q{i}"] << i for i in range(3)) == 1
+
+
+class TestShiftRegister:
+    def test_delay_line(self):
+        c = shift_register(3)
+        sim = FrameSimulator(c, width=1)
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        seen = [drive(sim, c, sin=b)[c.outputs[0]] for b in bits]
+        # the combinational d0 buffer adds no delay: 3 DFF stages = 3 frames
+        for i, b in enumerate(bits):
+            j = i + 3
+            if j < len(bits):
+                assert seen[j] == b
+
+    def test_lfsr_has_feedback(self):
+        c = shift_register(5, taps=(1, 4))
+        assert any(g.gtype.value == "XOR" for g in c.gates.values())
+
+
+class TestSyntheticSequential:
+    @pytest.mark.parametrize("style", ["control", "data", "mixed"])
+    def test_interface_counts_exact(self, style):
+        c = synthetic_sequential("t", 5, 4, 8, 60, 4, seed=1, style=style)
+        assert len(c.inputs) == 5
+        assert len(c.outputs) == 4
+        assert len(c.flops) == 8
+        assert validate(c) == []
+
+    def test_gate_budget_approximate(self):
+        c = synthetic_sequential("t", 6, 4, 10, 200, 6, seed=2)
+        assert 100 <= c.num_gates <= 400
+
+    def test_deterministic_in_seed(self):
+        a = synthetic_sequential("t", 4, 3, 6, 50, 3, seed=7)
+        b = synthetic_sequential("t", 4, 3, 6, 50, 3, seed=7)
+        assert a.gates == b.gates and a.inputs == b.inputs
+
+    def test_different_seeds_differ(self):
+        a = synthetic_sequential("t", 4, 3, 6, 50, 3, seed=1)
+        b = synthetic_sequential("t", 4, 3, 6, 50, 3, seed=2)
+        assert a.gates != b.gates
+
+    def test_rejects_bad_style(self):
+        with pytest.raises(ValueError):
+            synthetic_sequential("t", 2, 2, 2, 10, 2, style="quantum")
+
+    def test_no_flops_allowed(self):
+        c = synthetic_sequential("comb", 4, 2, 0, 30, 0, seed=3)
+        assert c.flops == []
+        assert validate(c) == []
+
+
+class TestIscas89Registry:
+    def test_names_cover_table2(self):
+        names = available()
+        for expected in ("s27", "s298", "s382", "s5378", "s35932"):
+            assert expected in names
+
+    def test_s27_is_the_real_netlist(self):
+        assert iscas89("s27").gates == s27().gates
+
+    def test_standin_matches_spec_interface(self):
+        for name in QUICK_SET:
+            spec = ISCAS89_SPECS[name]
+            c = iscas89(name)
+            assert len(c.inputs) == spec.n_pi, name
+            assert len(c.outputs) == spec.n_po, name
+            assert len(c.flops) == spec.n_ff, name
+            assert validate(c) == []
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            iscas89("s9999")
+
+    def test_specs_carry_paper_metadata(self):
+        spec = ISCAS89_SPECS["s298"]
+        assert spec.seq_depth == 8
+        assert spec.paper_total_faults == 308
+        assert ISCAS89_SPECS["s5378"].paper_seq_scale == (0.25, 0.5)

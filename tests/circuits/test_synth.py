@@ -1,0 +1,184 @@
+"""Behavioural tests for the synthesised Table III circuits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.synth import am2910, div16, mult16, pcont2
+from repro.circuits.synth.am2910 import (
+    CJS, CONT, CRTN, JMAP, JZ, LDCT, PUSH, RPCT,
+)
+from repro.circuits.synth.pcont2 import CMD_LOAD, CMD_NOP, CMD_START, CMD_STOP
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.logic_sim import FrameSimulator
+
+from ..helpers import drive, frame_bus, read_bit, read_bus
+
+
+def bus(circuit, prefix):
+    """Little-endian net list for a named output bus."""
+    nets = [n for n in circuit.nets if n.startswith(prefix)]
+    return sorted(nets, key=lambda n: int("".join(ch for ch in n.rsplit("q", 1)[-1] if ch.isdigit())))
+
+
+class TestDiv16:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return div16(width=8)  # smaller width keeps the test fast
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 200), st.integers(1, 40))
+    def test_division(self, circuit, dividend, divisor):
+        sim = FrameSimulator(circuit, width=1)
+        drive(sim, circuit, start=1, dividend=dividend, divisor=divisor)
+        for _ in range(dividend // divisor + 3):
+            drive(sim, circuit, start=0, dividend=0, divisor=0)
+        quo = read_bus(sim, bus(circuit, "quo_q"))
+        rem = read_bus(sim, bus(circuit, "rem_q"))
+        assert quo == dividend // divisor
+        assert rem == dividend % divisor
+
+    def test_divide_by_zero_flag(self, circuit):
+        sim = FrameSimulator(circuit, width=1)
+        drive(sim, circuit, start=1, dividend=10, divisor=0)
+        out = drive(sim, circuit, start=0, dividend=0, divisor=0)
+        assert out[circuit.outputs[-1]] == 1
+
+    def test_interface(self):
+        c = div16()
+        assert len(c.inputs) == 33
+        assert c.name == "div"
+
+
+class TestMult16:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return mult16(width=8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_twos_complement_product(self, circuit, x, y):
+        width = 8
+        sim = FrameSimulator(circuit, width=1)
+        drive(sim, circuit, start=1,
+              multiplicand=x & 0xFF, multiplier=y & 0xFF)
+        for _ in range(width + 3):
+            drive(sim, circuit, start=0, multiplicand=0, multiplier=0)
+        hi = read_bus(sim, bus(circuit, "acc_q"))
+        lo = read_bus(sim, bus(circuit, "q_q"))
+        product = (hi << width) | lo
+        if product & (1 << (2 * width - 1)):
+            product -= 1 << (2 * width)
+        assert product == x * y
+
+    def test_interface(self):
+        c = mult16()
+        assert len(c.inputs) == 33
+        assert c.name == "mult"
+
+
+class TestAm2910:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return am2910(width=6)  # narrower address bus for speed
+
+    @staticmethod
+    def _y(circuit, outputs):
+        return frame_bus(outputs, circuit.outputs[:6])
+
+    def _fresh(self, circuit):
+        sim = FrameSimulator(circuit, width=1)
+        # JZ resets Y to 0 and clears the stack; uPC becomes 1
+        drive(sim, circuit, instr=JZ, d=0, cc=0)
+        return sim
+
+    def test_jz_forces_zero(self, circuit):
+        sim = FrameSimulator(circuit, width=1)
+        out = drive(sim, circuit, instr=JZ, d=0, cc=0)
+        assert self._y(circuit, out) == 0
+
+    def test_cont_increments(self, circuit):
+        sim = self._fresh(circuit)
+        for expect in (1, 2, 3):
+            out = drive(sim, circuit, instr=CONT, d=0, cc=0)
+            assert self._y(circuit, out) == expect
+
+    def test_jmap_jumps(self, circuit):
+        sim = self._fresh(circuit)
+        out = drive(sim, circuit, instr=JMAP, d=17, cc=0)
+        assert self._y(circuit, out) == 17
+        out = drive(sim, circuit, instr=CONT, d=0, cc=0)
+        assert self._y(circuit, out) == 18
+
+    def test_call_and_return(self, circuit):
+        sim = self._fresh(circuit)
+        out = drive(sim, circuit, instr=CONT, d=0, cc=0)   # Y=1, uPC<-2
+        out = drive(sim, circuit, instr=CJS, d=20, cc=1)   # call 20, push 2
+        assert self._y(circuit, out) == 20
+        out = drive(sim, circuit, instr=CRTN, d=0, cc=1)   # return to 2
+        assert self._y(circuit, out) == 2
+
+    def test_failed_conditional_call_continues(self, circuit):
+        sim = self._fresh(circuit)
+        drive(sim, circuit, instr=CONT, d=0, cc=0)         # Y=1, uPC<-2
+        out = drive(sim, circuit, instr=CJS, d=20, cc=0)   # cc fails
+        assert self._y(circuit, out) == 2
+
+    def test_rpct_loops_until_counter_zero(self, circuit):
+        sim = self._fresh(circuit)
+        out = drive(sim, circuit, instr=LDCT, d=2, cc=0)   # R = 2, Y=uPC=1
+        # RPCT jumps to D while R != 0 (decrementing), else continues
+        out = drive(sim, circuit, instr=RPCT, d=33, cc=0)  # R 2->1
+        assert self._y(circuit, out) == 33
+        out = drive(sim, circuit, instr=RPCT, d=33, cc=0)  # R 1->0
+        assert self._y(circuit, out) == 33
+        out = drive(sim, circuit, instr=RPCT, d=33, cc=0)  # R == 0: continue
+        assert self._y(circuit, out) == 34
+
+    def test_interface(self):
+        c = am2910()
+        assert len(c.inputs) == 17   # 4 instr + 12 d + cc
+        assert c.stats()["flops"] == 87  # uPC 12 + R 12 + stack 60 + depth 3
+
+
+class TestPcont2:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return pcont2(channels=4, counter_width=4)
+
+    def test_load_start_countdown_done(self, circuit):
+        sim = FrameSimulator(circuit, width=1)
+        drive(sim, circuit, cmd=CMD_LOAD, sel=1, broadcast=0, data=3)
+        drive(sim, circuit, cmd=CMD_START, sel=1, broadcast=0, data=0)
+        # channel 1 now counts 3 -> 2 -> 1 -> 0 and raises done
+        out = {}
+        for _ in range(5):
+            out = drive(sim, circuit, cmd=CMD_NOP, sel=0, broadcast=0, data=0)
+        done = circuit.outputs[4:8]
+        active = circuit.outputs[0:4]
+        assert out[done[1]] == 1
+        assert out[active[1]] == 0
+
+    def test_stop_freezes(self, circuit):
+        sim = FrameSimulator(circuit, width=1)
+        drive(sim, circuit, cmd=CMD_LOAD, sel=2, broadcast=0, data=8)
+        drive(sim, circuit, cmd=CMD_START, sel=2, broadcast=0, data=0)
+        drive(sim, circuit, cmd=CMD_STOP, sel=2, broadcast=0, data=0)
+        done = circuit.outputs[4:8]
+        out = {}
+        for _ in range(12):
+            out = drive(sim, circuit, cmd=CMD_NOP, sel=0, broadcast=0, data=0)
+        assert out[done[2]] == 0  # frozen, never reached zero
+
+    def test_broadcast_hits_all_channels(self, circuit):
+        sim = FrameSimulator(circuit, width=1)
+        drive(sim, circuit, cmd=CMD_LOAD, sel=0, broadcast=1, data=1)
+        drive(sim, circuit, cmd=CMD_START, sel=0, broadcast=1, data=0)
+        out = {}
+        for _ in range(4):
+            out = drive(sim, circuit, cmd=CMD_NOP, sel=0, broadcast=0, data=0)
+        assert out[circuit.outputs[-1]] == 1  # all_done
+
+    def test_interface(self):
+        c = pcont2()
+        assert len(c.inputs) == 14
+        assert c.stats()["flops"] == 80

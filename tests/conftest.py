@@ -1,0 +1,86 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuits import s27
+
+
+@pytest.fixture
+def s27_circuit() -> Circuit:
+    return s27()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategy: small random sequential circuits
+# ----------------------------------------------------------------------
+_COMB_TYPES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.BUF,
+]
+
+
+@st.composite
+def random_circuits(draw, max_pi: int = 4, max_ff: int = 3, max_gates: int = 12):
+    """Small random sequential circuits for differential testing."""
+    n_pi = draw(st.integers(1, max_pi))
+    n_ff = draw(st.integers(0, max_ff))
+    n_gates = draw(st.integers(1, max_gates))
+    c = Circuit("hyp")
+    pool = [c.add_input(f"pi{i}") for i in range(n_pi)]
+    ffs = [f"ff{i}" for i in range(n_ff)]
+    pool += ffs  # forward references resolved when the DFFs are added
+    gate_outs = []
+    for i in range(n_gates):
+        gtype = draw(st.sampled_from(_COMB_TYPES))
+        fanin = 1 if gtype in (GateType.NOT, GateType.BUF) else draw(st.integers(2, 3))
+        # only reference already-created combinational nets to stay acyclic
+        candidates = pool[: n_pi + n_ff + len(gate_outs)]
+        ins = [
+            candidates[draw(st.integers(0, len(candidates) - 1))]
+            for _ in range(fanin)
+        ]
+        net = f"g{i}"
+        c.add_gate(net, gtype, ins)
+        pool.append(net)
+        gate_outs.append(net)
+    for i, ff in enumerate(ffs):
+        src = pool[draw(st.integers(0, len(pool) - 1))]
+        if src == ff:
+            src = pool[0]
+        c.add_gate(ff, GateType.DFF, [src])
+    n_po = draw(st.integers(1, min(3, len(gate_outs))))
+    chosen = draw(
+        st.lists(st.sampled_from(gate_outs), min_size=n_po, max_size=n_po,
+                 unique=True)
+    )
+    for net in chosen:
+        c.add_output(net)
+    return c
+
+
+@st.composite
+def scalar_vectors(draw, circuit: Circuit, length_max: int = 8):
+    """A short random input sequence for ``circuit`` (0/1 scalars)."""
+    length = draw(st.integers(1, length_max))
+    return [
+        {pi: draw(st.integers(0, 1)) for pi in circuit.inputs}
+        for _ in range(length)
+    ]

@@ -1,0 +1,124 @@
+"""Tests for structural fault-equivalence collapsing."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuits import s27
+from repro.faults.collapse import (
+    collapse_faults,
+    collapse_ratio,
+    equivalence_classes,
+)
+from repro.faults.model import Fault, full_fault_list
+from repro.simulation.fault_sim import FaultSimulator
+
+from ..conftest import random_circuits
+
+
+class TestLocalRules:
+    def test_inverter_chain(self):
+        c = Circuit("inv")
+        c.add_input("a")
+        c.add_gate("n1", GateType.NOT, ["a"])
+        c.add_gate("y", GateType.NOT, ["n1"])
+        c.add_output("y")
+        classes = equivalence_classes(c)
+        # a s-a-0 == n1 s-a-1 == y s-a-0
+        assert classes[Fault("a", 0)] == classes[Fault("n1", 1)]
+        assert classes[Fault("n1", 1)] == classes[Fault("y", 0)]
+        # full universe 6 -> 2 classes
+        assert len(collapse_faults(c)) == 2
+
+    def test_and_gate_inputs_sa0_merge_with_output_sa0(self):
+        c = Circuit("and")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.AND, ["a", "b"])
+        c.add_output("y")
+        classes = equivalence_classes(c)
+        assert classes[Fault("a", 0)] == classes[Fault("y", 0)]
+        assert classes[Fault("b", 0)] == classes[Fault("y", 0)]
+        assert classes[Fault("a", 1)] != classes[Fault("y", 1)]
+
+    def test_nand_gate_inverts_output_value(self):
+        c = Circuit("nand")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.NAND, ["a", "b"])
+        c.add_output("y")
+        classes = equivalence_classes(c)
+        assert classes[Fault("a", 0)] == classes[Fault("y", 1)]
+
+    def test_xor_has_no_collapsing(self):
+        c = Circuit("xor")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XOR, ["a", "b"])
+        c.add_output("y")
+        assert len(collapse_faults(c)) == 6
+
+    def test_dff_collapses_like_buffer(self):
+        c = Circuit("dff")
+        c.add_input("a")
+        c.add_gate("q", GateType.DFF, ["a"])
+        c.add_gate("y", GateType.BUF, ["q"])
+        c.add_output("y")
+        classes = equivalence_classes(c)
+        assert classes[Fault("a", 0)] == classes[Fault("q", 0)]
+        assert classes[Fault("q", 1)] == classes[Fault("y", 1)]
+
+    def test_branch_faults_collapse_into_gate_rule(self):
+        c = Circuit("branchy")
+        c.add_input("a")
+        c.add_gate("y1", GateType.AND, ["a", "b"])
+        c.add_gate("y2", GateType.OR, ["a", "b"])
+        c.add_input("b")
+        c.add_output("y1")
+        c.add_output("y2")
+        classes = equivalence_classes(c)
+        # a's branch into the AND, s-a-0, merges with y1 s-a-0
+        assert classes[Fault("a", 0, gate="y1", pin=0)] == classes[Fault("y1", 0)]
+        # but the stem fault a s-a-0 does NOT (fanout blocks it)
+        assert classes[Fault("a", 0)] != classes[Fault("y1", 0)]
+
+
+class TestGlobalProperties:
+    def test_collapse_ratio_on_s27(self):
+        full, collapsed = collapse_ratio(s27())
+        assert full == 52
+        assert collapsed < full
+        assert collapsed == len(collapse_faults(s27()))
+
+    def test_representatives_are_members(self):
+        c = s27()
+        classes = equivalence_classes(c)
+        universe = set(full_fault_list(c)) | set(classes)
+        assert all(rep in universe for rep in classes.values())
+
+    def test_deterministic(self):
+        assert collapse_faults(s27()) == collapse_faults(s27())
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_equivalent_faults_detected_together(self, data):
+        """Any test sequence detects either all or none of a class."""
+        circuit = data.draw(random_circuits(max_pi=3, max_ff=2, max_gates=7))
+        classes = equivalence_classes(circuit)
+        rng = random.Random(data.draw(st.integers(0, 1000)))
+        vectors = [
+            [rng.getrandbits(1) for _ in circuit.inputs] for _ in range(8)
+        ]
+        universe = list(classes)
+        result = FaultSimulator(circuit, width=32).run(
+            vectors, universe, stop_on_all_detected=False
+        )
+        by_class = {}
+        for fault in universe:
+            by_class.setdefault(classes[fault], set()).add(
+                fault in result.detected
+            )
+        for rep, outcomes in by_class.items():
+            assert len(outcomes) == 1, f"class of {rep} split: {outcomes}"

@@ -1,0 +1,74 @@
+"""Tests for the stuck-at fault model."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuits import s27
+from repro.faults.model import Fault, fault_site_known, full_fault_list
+
+
+class TestFault:
+    def test_stuck_must_be_binary(self):
+        with pytest.raises(ValueError):
+            Fault("a", 2)
+
+    def test_str_stem(self):
+        assert str(Fault("G5", 1)) == "G5 s-a-1"
+
+    def test_str_branch(self):
+        assert str(Fault("G5", 0, gate="G9", pin=1)) == "G5->G9.1 s-a-0"
+
+    def test_is_branch(self):
+        assert not Fault("a", 0).is_branch
+        assert Fault("a", 0, gate="y", pin=0).is_branch
+
+    def test_ordering_is_total_and_stable(self):
+        faults = [Fault("b", 1), Fault("a", 0), Fault("a", 1),
+                  Fault("a", 0, gate="y", pin=0)]
+        assert sorted(faults) == sorted(faults[::-1])
+
+
+class TestFullFaultList:
+    def test_counts_on_s27(self):
+        c = s27()
+        faults = full_fault_list(c)
+        # 17 nets x 2 stems + 2 x (sum of fanout sizes of multi-fanout nets)
+        fanout = c.fanout
+        branch_pins = sum(
+            len(readers) for readers in fanout.values() if len(readers) > 1
+        )
+        assert len(faults) == 2 * 17 + 2 * branch_pins
+        assert len(set(faults)) == len(faults)
+
+    def test_no_branches_on_single_fanout_nets(self):
+        c = Circuit("single")
+        c.add_input("a")
+        c.add_gate("y", GateType.NOT, ["a"])
+        c.add_output("y")
+        faults = full_fault_list(c)
+        assert all(not f.is_branch for f in faults)
+        assert len(faults) == 4
+
+    def test_branches_on_fanout_stems(self):
+        c = Circuit("fan")
+        c.add_input("a")
+        c.add_gate("y1", GateType.BUF, ["a"])
+        c.add_gate("y2", GateType.NOT, ["a"])
+        c.add_output("y1")
+        c.add_output("y2")
+        branches = [f for f in full_fault_list(c) if f.is_branch]
+        assert {(f.gate, f.pin) for f in branches} == {("y1", 0), ("y2", 0)}
+        assert len(branches) == 4
+
+    def test_every_fault_site_is_known(self):
+        c = s27()
+        assert all(fault_site_known(c, f) for f in full_fault_list(c))
+
+    def test_fault_site_known_rejects_garbage(self):
+        c = s27()
+        assert not fault_site_known(c, Fault("nope", 0))
+        assert not fault_site_known(c, Fault("G0", 0, gate="nope", pin=0))
+        assert not fault_site_known(c, Fault("G0", 0, gate="G14", pin=5))
+        # pin exists but reads a different net
+        assert not fault_site_known(c, Fault("G1", 0, gate="G14", pin=0))

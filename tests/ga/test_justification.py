@@ -1,0 +1,133 @@
+"""Tests for genetic state justification."""
+
+import random
+
+import pytest
+
+from repro.atpg.justify import JustifyStatus
+from repro.circuits import counter, gray_fsm, s27, two_stage_pipeline
+from repro.faults.model import Fault
+from repro.ga.justification import GAJustifyParams, GAStateJustifier
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.encoding import X, pack_const, unpack
+from repro.simulation.fault_sim import injection_for
+from repro.simulation.logic_sim import FrameSimulator
+
+
+def verify(circuit, required, vectors, start_state=None, fault=None):
+    """Check the sequence really produces the required state."""
+    cc = compile_circuit(circuit)
+    injections = [injection_for(cc, fault, 1)] if fault else []
+    sim = FrameSimulator(cc, width=1, injections=injections)
+    if start_state is not None and not fault:
+        sim.set_state([pack_const(v, 1) for v in start_state])
+    for vec in vectors:
+        sim.step([pack_const(v, 1) for v in vec])
+    state = dict(zip(circuit.flops, sim.get_state()))
+    for net, want in required.items():
+        assert unpack(state[net], 1)[0] == want
+
+
+class TestJustify:
+    def test_pipeline_state(self):
+        circuit = two_stage_pipeline()
+        j = GAStateJustifier(circuit, rng=random.Random(0))
+        res = j.justify({"f1": 1, "f2": 0},
+                        GAJustifyParams(seq_len=4, population_size=16))
+        assert res.success
+        verify(circuit, {"f1": 1, "f2": 0}, res.vectors)
+        verify(circuit, {"f1": 1, "f2": 0}, res.vectors, fault=None)
+
+    def test_counter_state(self):
+        circuit = counter(3)
+        j = GAStateJustifier(circuit, rng=random.Random(1))
+        required = {"q0": 1, "q1": 1, "q2": 0}
+        res = j.justify(
+            required,
+            GAJustifyParams(seq_len=8, population_size=64, generations=8),
+        )
+        assert res.success
+        verify(circuit, required, res.vectors)
+
+    def test_gray_fsm_state(self):
+        circuit = gray_fsm()
+        j = GAStateJustifier(circuit, rng=random.Random(2))
+        required = {"s0": 1, "s1": 1}
+        res = j.justify(
+            required, GAJustifyParams(seq_len=6, population_size=32)
+        )
+        assert res.success
+        verify(circuit, required, res.vectors)
+
+    def test_failure_is_bounded_not_exhausted(self):
+        """A GA can never prove unjustifiability."""
+        circuit = counter(8)
+        j = GAStateJustifier(circuit, rng=random.Random(3))
+        # counting to 255 within 2 vectors is impossible
+        required = {f"q{i}": 1 for i in range(8)}
+        res = j.justify(
+            required, GAJustifyParams(seq_len=2, population_size=8,
+                                      generations=1),
+        )
+        assert not res.success
+        assert res.status is JustifyStatus.BOUNDED
+
+    def test_early_exit_shortens_sequence(self):
+        """The coded length is an upper bound, not the returned length."""
+        circuit = two_stage_pipeline()
+        j = GAStateJustifier(circuit, rng=random.Random(4))
+        res = j.justify({"f1": 1}, GAJustifyParams(seq_len=16,
+                                                   population_size=32))
+        assert res.success
+        assert len(res.vectors) < 16
+
+    def test_uses_current_good_state(self):
+        """Starting from a matching state needs fewer (or zero) vectors."""
+        circuit = counter(3)
+        j = GAStateJustifier(circuit, rng=random.Random(5))
+        required = {"q0": 1, "q1": 1}
+        # current state already has q0=q1=1: with the fault-free default
+        # requirement the faulty circuit must still be driven there, so a
+        # sequence is still needed — but it must exist and verify from the
+        # given start state in the good circuit.
+        res = j.justify(
+            required,
+            GAJustifyParams(seq_len=8, population_size=64, generations=8),
+            current_good_state=[1, 1, 0],
+        )
+        assert res.success
+        verify(circuit, required, res.vectors, start_state=[1, 1, 0])
+
+    def test_fault_injected_in_faulty_circuit(self):
+        """With the fault present, the faulty state must also match."""
+        circuit = two_stage_pipeline()
+        fault = Fault("a", 0)
+        j = GAStateJustifier(circuit, rng=random.Random(6))
+        # requiring f1=1 in BOTH circuits is impossible: faulty a is stuck 0
+        res = j.justify(
+            {"f1": 1},
+            GAJustifyParams(seq_len=8, population_size=32, generations=4),
+            fault=fault,
+        )
+        assert not res.success
+
+    def test_fitness_weights_configurable(self):
+        params = GAJustifyParams(good_weight=0.5, faulty_weight=0.5)
+        assert params.good_weight == 0.5
+
+    def test_decode_layout(self):
+        circuit = s27()  # 4 PIs
+        j = GAStateJustifier(circuit)
+        genome = 0b1010_0110  # vector0 = 0110, vector1 = 1010 (LSB first)
+        vectors = j.decode(genome, seq_len=2, n_vectors=2)
+        assert vectors[0] == [0, 1, 1, 0]
+        assert vectors[1] == [0, 1, 0, 1]
+
+    def test_reproducible(self):
+        def run(seed):
+            j = GAStateJustifier(counter(3), rng=random.Random(seed))
+            return j.justify(
+                {"q0": 1}, GAJustifyParams(seq_len=4, population_size=16)
+            ).vectors
+
+        assert run(7) == run(7)

@@ -1,0 +1,82 @@
+"""Deeper driver behaviours: prefiltering, blocks, validation accounting."""
+
+import pytest
+
+from repro.analysis.compaction import split_blocks
+from repro.circuits import redundant_and, s27, untestable_stem
+from repro.hybrid import (
+    HybridTestGenerator,
+    gahitec,
+    gahitec_schedule,
+    hitec_baseline,
+    hitec_schedule,
+)
+
+
+def quick(x=12):
+    return gahitec_schedule(x=x, time_scale=None, backtrack_base=100)
+
+
+class TestPrefilter:
+    def test_prefilter_finds_redundancy(self):
+        driver = hitec_baseline(redundant_and(), seed=0)
+        proven = driver.prefilter_untestable()
+        assert proven, "the consensus redundancy must be proven up front"
+        result = driver.run(hitec_schedule(time_scale=None, backtrack_base=100))
+        # everything left is detectable
+        assert len(result.detected) == result.total_faults
+
+    def test_prefilter_shrinks_target_list(self):
+        circuit, fault = untestable_stem()
+        driver = gahitec(circuit, seed=0)
+        before = len(driver.all_faults)
+        proven = driver.prefilter_untestable()
+        assert len(driver.all_faults) == before - len(proven)
+        assert driver.prefiltered_untestable == proven
+
+    def test_prefilter_never_removes_testable(self):
+        driver = gahitec(s27(), seed=0)
+        assert driver.prefilter_untestable() == []
+
+
+class TestBlocks:
+    def test_blocks_partition_test_set(self):
+        result = gahitec(s27(), seed=1).run(quick())
+        assert result.blocks
+        assert result.blocks[0] == 0
+        assert result.blocks == sorted(result.blocks)
+        assert all(0 <= b < len(result.test_set) for b in result.blocks)
+        blocks = split_blocks(result.test_set, result.blocks)
+        assert sum(len(b) for b in blocks) == len(result.test_set)
+
+    def test_detected_indices_are_block_starts(self):
+        result = gahitec(s27(), seed=1).run(quick())
+        starts = set(result.blocks)
+        assert all(base in starts for base in result.detected.values())
+
+
+class TestAccounting:
+    def test_targeted_counts_bounded_by_faults(self):
+        result = gahitec(s27(), seed=1).run(quick())
+        for stats in result.passes:
+            assert stats.targeted <= result.total_faults
+            assert stats.aborted <= stats.targeted
+
+    def test_validation_failures_rare_on_s27(self):
+        """In-engine verification should leave commit-time rejects at ~0."""
+        result = gahitec(s27(), seed=1).run(quick())
+        assert sum(p.validation_failures for p in result.passes) == 0
+
+    def test_time_accumulates_across_passes(self):
+        result = gahitec(s27(), seed=1).run(quick())
+        times = [p.time_s for p in result.passes]
+        assert times == sorted(times)
+
+    def test_max_frames_override(self):
+        driver = HybridTestGenerator(s27(), seed=1, max_frames=4)
+        assert driver.max_frames == 4
+        assert driver.seqgen.max_frames == 4
+
+    def test_default_max_frames_heuristic(self):
+        driver = HybridTestGenerator(s27(), seed=1)
+        assert 4 <= driver.max_frames <= 16

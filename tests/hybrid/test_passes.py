@@ -1,0 +1,86 @@
+"""Tests encoding Table I of the paper (the pass schedule)."""
+
+import pytest
+
+from repro.hybrid.passes import (
+    DETERMINISTIC,
+    GA,
+    PassConfig,
+    gahitec_schedule,
+    hitec_schedule,
+)
+
+
+class TestTableI:
+    """The schedule must match the paper's Table I exactly."""
+
+    def test_three_pass_structure(self):
+        sched = gahitec_schedule(x=32)
+        assert [p.justification for p in sched] == [GA, GA, DETERMINISTIC]
+
+    def test_pass1_parameters(self):
+        p1 = gahitec_schedule(x=32)[0]
+        assert p1.time_limit == 1.0       # 1-second limit per fault
+        assert p1.population_size == 64   # population size = 64
+        assert p1.generations == 4        # 4 generations
+        assert p1.seq_len == 16           # sequence length = x/2
+
+    def test_pass2_parameters(self):
+        p2 = gahitec_schedule(x=32)[1]
+        assert p2.time_limit == 10.0      # 10-second limit per fault
+        assert p2.population_size == 128  # population size = 128
+        assert p2.generations == 8        # 8 generations
+        assert p2.seq_len == 32           # sequence length = x
+
+    def test_pass3_parameters(self):
+        p3 = gahitec_schedule(x=32)[2]
+        assert p3.justification == DETERMINISTIC
+        assert p3.time_limit == 100.0     # 100-second limit per fault
+
+    def test_additional_passes_grow_tenfold(self):
+        sched = gahitec_schedule(x=32, num_passes=5)
+        assert sched[3].time_limit == 1000.0
+        assert sched[4].time_limit == 10000.0
+
+    def test_time_scale(self):
+        sched = gahitec_schedule(x=32, time_scale=0.01)
+        assert sched[0].time_limit == pytest.approx(0.01)
+        assert sched[2].time_limit == pytest.approx(1.0)
+
+    def test_time_scale_none_disables_limits(self):
+        assert all(p.time_limit is None for p in gahitec_schedule(x=8, time_scale=None))
+
+    def test_population_scale_for_s35932(self):
+        """The paper used population 32 for s35932's first two passes."""
+        sched = gahitec_schedule(x=16, population_scale=2)
+        assert sched[0].population_size == 32
+        assert sched[1].population_size == 64
+
+    def test_rejects_tiny_x(self):
+        with pytest.raises(ValueError):
+            gahitec_schedule(x=1)
+
+
+class TestHitecSchedule:
+    def test_all_deterministic(self):
+        sched = hitec_schedule(num_passes=4)
+        assert all(p.justification == DETERMINISTIC for p in sched)
+
+    def test_tenfold_time_growth(self):
+        sched = hitec_schedule(num_passes=3)
+        assert [p.time_limit for p in sched] == [1.0, 10.0, 100.0]
+
+    def test_backtracks_grow(self):
+        sched = hitec_schedule(num_passes=3, backtrack_base=100)
+        assert sched[0].max_backtracks < sched[1].max_backtracks
+        assert sched[1].max_backtracks < sched[2].max_backtracks
+
+
+class TestPassConfig:
+    def test_rejects_unknown_justification(self):
+        with pytest.raises(ValueError):
+            PassConfig(1, "magic", None, 100)
+
+    def test_ga_pass_needs_sequence_length(self):
+        with pytest.raises(ValueError):
+            PassConfig(1, GA, None, 100, seq_len=0)

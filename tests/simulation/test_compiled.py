@@ -1,0 +1,49 @@
+"""Tests for the compiled circuit form."""
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuits import s27
+from repro.simulation.compiled import CompiledCircuit, compile_circuit
+
+
+class TestCompiledCircuit:
+    def test_indices_cover_all_nets(self, s27_circuit):
+        cc = compile_circuit(s27_circuit)
+        assert sorted(cc.index.values()) == list(range(cc.num_nets))
+        assert [cc.name_of(cc.index[n]) for n in s27_circuit.nets] == s27_circuit.nets
+
+    def test_pi_po_ff_mapping(self, s27_circuit):
+        cc = compile_circuit(s27_circuit)
+        assert [cc.name_of(i) for i in cc.pi] == ["G0", "G1", "G2", "G3"]
+        assert [cc.name_of(i) for i in cc.po] == ["G17"]
+        assert [cc.name_of(i) for i in cc.ff_out] == ["G5", "G6", "G7"]
+        assert [cc.name_of(i) for i in cc.ff_in] == ["G10", "G11", "G13"]
+
+    def test_gates_in_level_order(self, s27_circuit):
+        cc = compile_circuit(s27_circuit)
+        levels = [g.level for g in cc.gates]
+        assert levels == sorted(levels)
+
+    def test_gate_of_none_for_sources(self, s27_circuit):
+        cc = compile_circuit(s27_circuit)
+        for i in cc.pi + cc.ff_out:
+            assert cc.gate_of[i] is None
+            assert cc.is_source(i)
+
+    def test_fanout_gates_consistent(self, s27_circuit):
+        cc = compile_circuit(s27_circuit)
+        for net_idx, positions in enumerate(cc.fanout_gates):
+            for pos in positions:
+                assert net_idx in cc.gates[pos].fanin
+
+    def test_cache_reuses_same_object(self, s27_circuit):
+        assert compile_circuit(s27_circuit) is compile_circuit(s27_circuit)
+
+    def test_cache_distinguishes_copies(self, s27_circuit):
+        other = s27_circuit.copy()
+        assert compile_circuit(s27_circuit) is not compile_circuit(other)
+
+    def test_dffs_not_in_gate_list(self, s27_circuit):
+        cc = compile_circuit(s27_circuit)
+        assert all(g.gtype is not GateType.DFF for g in cc.gates)
+        assert len(cc.gates) == s27_circuit.num_gates

@@ -1,0 +1,159 @@
+"""Tests for the two-word 3-valued encoding, including hypothesis properties."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.gates import GateType, eval_gate
+from repro.simulation.encoding import (
+    X,
+    diff_mask,
+    eval3,
+    eval_packed,
+    full_mask,
+    get_slot,
+    known_mask,
+    match_mask,
+    pack,
+    pack_const,
+    popcount,
+    set_slot,
+    unpack,
+)
+
+SCALARS = [0, 1, X]
+NARY = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestPacking:
+    @given(st.lists(st.sampled_from(SCALARS), min_size=1, max_size=70))
+    def test_pack_unpack_roundtrip(self, values):
+        assert unpack(pack(values), len(values)) == values
+
+    @given(st.sampled_from(SCALARS), st.integers(1, 70))
+    def test_pack_const_broadcasts(self, value, width):
+        assert unpack(pack_const(value, width), width) == [value] * width
+
+    def test_pack_pads_with_x(self):
+        packed = pack([0, 1], width=4)
+        assert unpack(packed, 4) == [0, 1, X, X]
+
+    def test_pack_rejects_bad_scalar(self):
+        with pytest.raises(ValueError):
+            pack([3])
+
+    def test_unpack_rejects_invalid_slot(self):
+        with pytest.raises(ValueError):
+            unpack((0, 0), 1)
+
+    @given(st.lists(st.sampled_from(SCALARS), min_size=1, max_size=16),
+           st.integers(0, 15), st.sampled_from(SCALARS))
+    def test_set_get_slot(self, values, slot, scalar):
+        slot = slot % len(values)
+        packed = set_slot(pack(values), slot, scalar)
+        assert get_slot(packed, slot) == scalar
+        for i, v in enumerate(values):
+            if i != slot:
+                assert get_slot(packed, i) == v
+
+    def test_full_mask(self):
+        assert full_mask(1) == 1
+        assert full_mask(8) == 0xFF
+        with pytest.raises(ValueError):
+            full_mask(0)
+
+
+class TestEval3:
+    @pytest.mark.parametrize("gtype", NARY)
+    def test_matches_two_valued_eval(self, gtype):
+        for bits in itertools.product([0, 1], repeat=3):
+            assert eval3(gtype, list(bits)) == eval_gate(gtype, list(bits))
+
+    def test_controlling_value_beats_x(self):
+        assert eval3(GateType.AND, [0, X]) == 0
+        assert eval3(GateType.NAND, [0, X]) == 1
+        assert eval3(GateType.OR, [1, X]) == 1
+        assert eval3(GateType.NOR, [1, X]) == 0
+
+    def test_x_propagates_without_controlling(self):
+        assert eval3(GateType.AND, [1, X]) == X
+        assert eval3(GateType.OR, [0, X]) == X
+        assert eval3(GateType.XOR, [1, X]) == X
+        assert eval3(GateType.NOT, [X]) == X
+
+    @pytest.mark.parametrize("gtype", NARY)
+    def test_x_result_is_achievable_both_ways(self, gtype):
+        """When eval3 says X, both 0 and 1 completions must be possible."""
+        for ins in itertools.product(SCALARS, repeat=2):
+            if eval3(gtype, list(ins)) != X:
+                continue
+            completions = {
+                eval_gate(gtype, [a if a != X else ra, b if b != X else rb])
+                for (a, b) in [ins]
+                for ra in (0, 1)
+                for rb in (0, 1)
+            }
+            assert completions == {0, 1}
+
+
+class TestEvalPacked:
+    @pytest.mark.parametrize("gtype", NARY)
+    @given(data=st.data())
+    def test_packed_matches_scalar_per_slot(self, gtype, data):
+        width = data.draw(st.integers(1, 33))
+        n_ins = data.draw(st.integers(1, 4))
+        columns = [
+            data.draw(
+                st.lists(st.sampled_from(SCALARS), min_size=width, max_size=width)
+            )
+            for _ in range(n_ins)
+        ]
+        packed_out = eval_packed(
+            gtype, [pack(col) for col in columns], full_mask(width)
+        )
+        expected = [
+            eval3(gtype, [columns[i][slot] for i in range(n_ins)])
+            for slot in range(width)
+        ]
+        assert unpack(packed_out, width) == expected
+
+    def test_not_swaps_words(self):
+        packed = pack([0, 1, X])
+        assert unpack(eval_packed(GateType.NOT, [packed], full_mask(3)), 3) == [
+            1,
+            0,
+            X,
+        ]
+
+    def test_constants(self):
+        m = full_mask(4)
+        assert unpack(eval_packed(GateType.CONST0, [], m), 4) == [0] * 4
+        assert unpack(eval_packed(GateType.CONST1, [], m), 4) == [1] * 4
+
+
+class TestMasks:
+    def test_known_mask(self):
+        assert known_mask(pack([0, 1, X])) == 0b011
+
+    def test_diff_mask_only_on_known_opposites(self):
+        a = pack([0, 1, X, 1])
+        b = pack([1, 1, 0, X])
+        assert diff_mask(a, b) == 0b0001
+
+    def test_match_mask_semantics(self):
+        required = pack([1, 0, X, 1])
+        actual = pack([1, 1, 0, X])
+        # slot0 equal, slot1 mismatch, slot2 don't-care, slot3 X actual
+        assert match_mask(required, actual, full_mask(4)) == 0b0101
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_popcount(self, x):
+        assert popcount(x) == bin(x).count("1")

@@ -1,0 +1,72 @@
+"""Tests for the extended CLI commands (convert, scan, diagnose, compact)."""
+
+import pytest
+
+from repro.cli import main, resolve_circuit
+from repro.circuit.bench import load_bench
+from repro.circuit.verilog import load_verilog
+from repro.circuits import s27
+
+
+class TestConvert:
+    def test_bench_to_verilog(self, tmp_path, capsys):
+        out = str(tmp_path / "s27.v")
+        assert main(["convert", "s27", out]) == 0
+        assert load_verilog(out).gates == s27().gates
+
+    def test_verilog_to_bench(self, tmp_path):
+        v = str(tmp_path / "s27.v")
+        b = str(tmp_path / "s27.bench")
+        main(["convert", "s27", v])
+        assert main(["convert", v, b]) == 0
+        assert load_bench(b).gates == s27().gates
+
+    def test_resolve_verilog_path(self, tmp_path):
+        v = str(tmp_path / "c.v")
+        main(["convert", "s27", v])
+        assert resolve_circuit(v).num_gates == 10
+
+
+class TestScanCommand:
+    def test_scan_insertion(self, tmp_path, capsys):
+        out = str(tmp_path / "s27_scan.bench")
+        assert main(["scan", "s27", out]) == 0
+        assert "3-bit scan chain" in capsys.readouterr().out
+        scanned = load_bench(out)
+        assert "scan_enable" in scanned.inputs
+        assert "scan_out" in scanned.outputs
+
+
+class TestCompactFlag:
+    def test_atpg_compact(self, tmp_path, capsys):
+        out = str(tmp_path / "tests.vec")
+        code = main([
+            "atpg", "s27", "-o", out, "--compact",
+            "--time-scale", "0.05", "--seed", "1",
+        ])
+        assert code == 0
+        assert "compaction:" in capsys.readouterr().out
+
+
+class TestDiagnoseCommand:
+    def test_end_to_end(self, tmp_path, capsys):
+        vec = str(tmp_path / "tests.vec")
+        main(["atpg", "s27", "-o", vec, "--time-scale", "0.05", "--seed", "1"])
+        capsys.readouterr()
+
+        # craft failures from a known fault's signature
+        from repro.analysis import FaultDictionary
+        from repro.cli import _read_vectors
+
+        circuit = s27()
+        vectors = _read_vectors(vec, 4)
+        dictionary = FaultDictionary(circuit, vectors)
+        fault = dictionary.detected_faults[0]
+        failures_file = tmp_path / "failures.txt"
+        failures_file.write_text(
+            "\n".join(f"{c} {p}" for c, p in sorted(dictionary.signatures[fault]))
+        )
+        assert main(["diagnose", "s27", vec, str(failures_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1. [exact]" in out
+        assert str(fault) in out

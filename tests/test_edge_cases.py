@@ -1,0 +1,142 @@
+"""Edge-case and degenerate-input tests across the stack."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.bench import parse_bench, write_bench
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.validate import check
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+from repro.hybrid import gahitec, gahitec_schedule, hitec_baseline, hitec_schedule
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.encoding import X, pack_const, unpack
+from repro.simulation.fault_sim import FaultSimulator
+from repro.simulation.logic_sim import FrameSimulator
+
+from .conftest import random_circuits
+
+
+def combinational() -> Circuit:
+    c = Circuit("comb")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("y", GateType.NAND, ["a", "b"])
+    c.add_output("y")
+    return check(c)
+
+
+class TestCombinationalDegenerate:
+    """A circuit with no flip-flops must flow through the whole stack."""
+
+    def test_driver_full_coverage(self):
+        result = gahitec(combinational(), seed=0).run(
+            gahitec_schedule(x=2, time_scale=None, backtrack_base=100)
+        )
+        assert result.fault_coverage == 1.0
+
+    def test_sequential_depth_zero(self):
+        assert combinational().sequential_depth == 0
+
+    def test_fault_sim(self):
+        c = combinational()
+        result = FaultSimulator(c).run([[0, 0], [0, 1], [1, 0], [1, 1]],
+                                       collapse_faults(c))
+        assert len(result.detected) == len(collapse_faults(c))
+
+
+class TestConstantsInCircuits:
+    def _with_consts(self):
+        c = Circuit("consts")
+        c.add_input("a")
+        c.add_gate("one", GateType.CONST1, [])
+        c.add_gate("zero", GateType.CONST0, [])
+        c.add_gate("y1", GateType.AND, ["a", "one"])
+        c.add_gate("y2", GateType.OR, ["a", "zero"])
+        c.add_output("y1")
+        c.add_output("y2")
+        return check(c)
+
+    def test_simulation(self):
+        c = self._with_consts()
+        sim = FrameSimulator(c, width=1)
+        po = sim.step({"a": pack_const(1, 1)})
+        assert [unpack(v, 1)[0] for v in po] == [1, 1]
+
+    def test_const_faults_partially_untestable(self):
+        """one s-a-1 is undetectable (it is already 1); one s-a-0 is not."""
+        c = self._with_consts()
+        vectors = [[0], [1]]
+        result = FaultSimulator(c).run(vectors, [Fault("one", 1), Fault("one", 0)])
+        assert Fault("one", 0) in result.detected
+        assert Fault("one", 1) not in result.detected
+
+    def test_atpg_handles_constants(self):
+        result = hitec_baseline(self._with_consts(), seed=0).run(
+            hitec_schedule(time_scale=None, backtrack_base=200)
+        )
+        # every fault classified: detected or proven untestable
+        assert len(result.detected) + len(result.untestable) == result.total_faults
+
+
+class TestEmptyAndTiny:
+    def test_empty_fault_list_run(self):
+        result = gahitec(combinational(), seed=0, faults=[]).run(
+            gahitec_schedule(x=2, time_scale=None, backtrack_base=10)
+        )
+        assert result.total_faults == 0
+        assert result.fault_coverage == 0.0
+        assert result.test_set == []
+
+    def test_single_gate_circuit(self):
+        c = Circuit("tiny")
+        c.add_input("a")
+        c.add_gate("y", GateType.BUF, ["a"])
+        c.add_output("y")
+        result = gahitec(check(c), seed=0).run(
+            gahitec_schedule(x=2, time_scale=None, backtrack_base=10)
+        )
+        assert result.fault_coverage == 1.0
+
+    def test_simulator_width_one_slot(self):
+        sim = FrameSimulator(combinational(), width=1)
+        po = sim.step([pack_const(1, 1), pack_const(1, 1)])
+        assert unpack(po[0], 1) == [0]
+
+
+class TestBenchFuzzRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_random_circuit_bench_roundtrip(self, data):
+        circuit = data.draw(random_circuits())
+        again = parse_bench(write_bench(circuit), circuit.name)
+        assert again.inputs == circuit.inputs
+        assert again.outputs == circuit.outputs
+        assert again.gates == circuit.gates
+
+
+class TestXPropagationInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_x_refinement_monotone(self, data):
+        """Replacing an X input by a definite value never *creates* X."""
+        circuit = data.draw(random_circuits(max_ff=0))
+        cc = compile_circuit(circuit)
+        vec_x = {}
+        vec_def = {}
+        for pi in circuit.inputs:
+            value = data.draw(st.sampled_from([0, 1, X]))
+            vec_x[pi] = value
+            vec_def[pi] = data.draw(st.integers(0, 1)) if value == X else value
+        sim_x = FrameSimulator(cc, width=1)
+        sim_x.apply_inputs({k: pack_const(v, 1) for k, v in vec_x.items()})
+        sim_x.settle()
+        sim_d = FrameSimulator(cc, width=1)
+        sim_d.apply_inputs({k: pack_const(v, 1) for k, v in vec_def.items()})
+        sim_d.settle()
+        for net in circuit.nets:
+            loose = unpack(sim_x.read(net), 1)[0]
+            tight = unpack(sim_d.read(net), 1)[0]
+            if loose != X:
+                assert tight == loose, f"{net}: {loose} -> {tight}"
