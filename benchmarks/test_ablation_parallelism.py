@@ -6,12 +6,18 @@ fault-simulation throughput (gate-pattern evaluations per second) as the
 word width grows, confirming the design choice the paper inherits from
 PROOFS: wider words amortise the per-gate interpretation cost across
 patterns.
+
+Each width is measured under both simulation backends — the event-driven
+interpreter and the generated straight-line kernels — and the comparison
+is written both as a rendered table (``benchmarks/out/``) and as
+machine-readable ``BENCH_simulation.json`` at the repository root.
 """
 
 from __future__ import annotations
 
+import json
 import random
-import time
+from pathlib import Path
 
 import pytest
 
@@ -22,53 +28,91 @@ from repro.simulation.fault_sim import FaultSimulator
 from .conftest import write_artifact
 
 WIDTHS = [1, 8, 32, 64, 256]
+BACKENDS = ["event", "codegen"]
+
+CIRCUIT = "s298"
+N_VECTORS = 64
 
 _rows = {}
 
 
-@pytest.mark.parametrize("width", WIDTHS)
-def test_fault_sim_width(benchmark, width):
-    circuit = iscas89("s298")
+def _workload():
+    circuit = iscas89(CIRCUIT)
     faults = collapse_faults(circuit)
     rng = random.Random(5)
     vectors = [
-        [rng.getrandbits(1) for _ in circuit.inputs] for _ in range(64)
+        [rng.getrandbits(1) for _ in circuit.inputs] for _ in range(N_VECTORS)
     ]
-    sim = FaultSimulator(circuit, width=width)
+    return circuit, faults, vectors
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fault_sim_width(benchmark, backend, width):
+    circuit, faults, vectors = _workload()
+    sim = FaultSimulator(circuit, width=width, backend=backend)
 
     def run():
         return sim.run(vectors, faults, stop_on_all_detected=False)
 
-    result = benchmark.pedantic(run, iterations=1, rounds=3)
-    _rows[width] = benchmark.stats.stats.mean
+    # one warmup round so the codegen backend's per-shape kernel cache is
+    # populated — steady state is what both backends run at in the driver
+    benchmark.pedantic(run, iterations=1, rounds=3, warmup_rounds=1)
+    _rows[(backend, width)] = benchmark.stats.stats.mean
 
-    # detection results must be width-independent
+    # detection results must be width- and backend-independent
     baseline = FaultSimulator(circuit, width=1).run(
         vectors[:8], faults[:20], stop_on_all_detected=False
     )
-    wide = FaultSimulator(circuit, width=width).run(
+    wide = FaultSimulator(circuit, width=width, backend=backend).run(
         vectors[:8], faults[:20], stop_on_all_detected=False
     )
     assert set(baseline.detected) == set(wide.detected)
-    if len(_rows) == len(WIDTHS):
+    if len(_rows) == len(WIDTHS) * len(BACKENDS):
         _render()
 
 
 def _render():
-    base = _rows[1]
-    lines = ["Fault-simulation word-width ablation — s298 stand-in:"]
-    for width, seconds in sorted(_rows.items()):
-        speedup = base / seconds if seconds else float("inf")
-        lines.append(
-            f"  width {width:>4d}: {seconds * 1e3:8.1f} ms per pass "
-            f"({speedup:5.2f}x vs width 1)"
-        )
-    wide_speedup = base / _rows[max(_rows)]
+    circuit, faults, vectors = _workload()
+    base = _rows[("event", 1)]
+    lines = [f"Fault-simulation word-width ablation — {CIRCUIT} stand-in:"]
+    for backend in BACKENDS:
+        lines.append(f"  backend={backend}:")
+        for width in WIDTHS:
+            seconds = _rows[(backend, width)]
+            speedup = base / seconds if seconds else float("inf")
+            lines.append(
+                f"    width {width:>4d}: {seconds * 1e3:8.1f} ms per pass "
+                f"({speedup:5.2f}x vs event width 1)"
+            )
+    wide_speedup = base / _rows[("event", max(WIDTHS))]
     verdict = "PASS" if wide_speedup > 2.0 else "FAIL"
     lines.append(
         f"  [{verdict}] wide words give substantial speedup "
         "(the PROOFS design choice the paper builds on)"
     )
+    codegen_speedup = _rows[("event", 64)] / _rows[("codegen", 64)]
+    verdict = "PASS" if codegen_speedup >= 3.0 else "FAIL"
+    lines.append(
+        f"  [{verdict}] codegen kernels are {codegen_speedup:.2f}x faster "
+        "than the event backend at width 64 (target: 3x)"
+    )
     text = "\n".join(lines)
     print("\n" + text)
     write_artifact("ablation_parallelism.txt", text)
+
+    payload = {
+        "circuit": CIRCUIT,
+        "frames": N_VECTORS,
+        "faults": len(faults),
+        "widths": WIDTHS,
+        "backends": BACKENDS,
+        "seconds": {
+            backend: {str(w): _rows[(backend, w)] for w in WIDTHS}
+            for backend in BACKENDS
+        },
+        "codegen_speedup_width64": codegen_speedup,
+    }
+    Path(__file__).parent.parent.joinpath("BENCH_simulation.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )

@@ -48,7 +48,9 @@ from .faults import Fault, collapse_faults, full_fault_list
 from .simulation import (
     FaultSimulator,
     FrameSimulator,
+    available_backends,
     fault_coverage,
+    make_simulator,
 )
 from .atpg import (
     InputConstraints,
@@ -147,7 +149,9 @@ __all__ = [
     "collapse_faults",
     "div16",
     "evaluate_test_set",
+    "available_backends",
     "fault_coverage",
+    "make_simulator",
     "full_fault_list",
     "gahitec",
     "gahitec_schedule",

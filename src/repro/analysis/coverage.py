@@ -53,10 +53,12 @@ def evaluate_test_set(
     vectors: Sequence[Sequence[int]],
     faults: Optional[Sequence[Fault]] = None,
     width: int = 64,
+    backend: Optional[str] = None,
+    jobs: int = 1,
 ) -> CoverageReport:
     """Fault-simulate ``vectors`` from the all-X state and report coverage."""
     fault_list = list(faults) if faults is not None else collapse_faults(circuit)
-    sim = FaultSimulator(circuit, width=width)
+    sim = FaultSimulator(circuit, width=width, backend=backend, jobs=jobs)
     result = sim.run(vectors, fault_list)
     return CoverageReport(
         total_faults=len(fault_list),
@@ -80,10 +82,13 @@ def random_baseline(
     faults: Optional[Sequence[Fault]] = None,
     seed: int = 0,
     width: int = 64,
+    backend: Optional[str] = None,
+    jobs: int = 1,
 ) -> CoverageReport:
     """Coverage of ``count`` random vectors — the weakest sensible baseline."""
     return evaluate_test_set(
-        circuit, random_vectors(circuit, count, seed), faults, width
+        circuit, random_vectors(circuit, count, seed), faults, width,
+        backend=backend, jobs=jobs,
     )
 
 

@@ -112,6 +112,7 @@ class SequentialTestGenerator:
         testability: Optional[Testability] = None,
         constraints: Optional[InputConstraints] = None,
         verify: bool = True,
+        backend: Optional[str] = None,
     ):
         self.cc = (
             circuit
@@ -123,7 +124,7 @@ class SequentialTestGenerator:
         self.meas = testability or compute_testability(self.cc)
         self.constraints = constraints
         self.verify = verify
-        self._verifier = FaultSimulator(self.cc, width=1)
+        self._verifier = FaultSimulator(self.cc, width=1, backend=backend)
 
     def generate(
         self,

@@ -98,14 +98,16 @@ def cmd_atpg(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit)
     x = args.seq_len or max(4, 4 * circuit.sequential_depth)
     if args.baseline:
-        driver = hitec_baseline(circuit, seed=args.seed)
+        driver = hitec_baseline(circuit, seed=args.seed,
+                                backend=args.backend, jobs=args.jobs)
         schedule = hitec_schedule(
             num_passes=args.passes,
             time_scale=args.time_scale,
             backtrack_base=args.backtracks,
         )
     else:
-        driver = gahitec(circuit, seed=args.seed)
+        driver = gahitec(circuit, seed=args.seed,
+                         backend=args.backend, jobs=args.jobs)
         schedule = gahitec_schedule(
             x=x,
             num_passes=args.passes,
@@ -134,7 +136,8 @@ def cmd_atpg(args: argparse.Namespace) -> int:
 def cmd_faultsim(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit)
     vectors = _read_vectors(args.vectors, len(circuit.inputs))
-    report = evaluate_test_set(circuit, vectors)
+    report = evaluate_test_set(circuit, vectors,
+                               backend=args.backend, jobs=args.jobs)
     print(report)
     if args.list_undetected:
         detected = set(report.detected)
@@ -189,6 +192,15 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_sim_options(p: argparse.ArgumentParser) -> None:
+    """Simulation-backend options shared by the simulating commands."""
+    p.add_argument("--backend", choices=["event", "codegen"], default=None,
+                   help="simulation backend (default: $REPRO_SIM_BACKEND "
+                        "or 'event'; 'codegen' compiles per-circuit kernels)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fault-simulation worker processes (default 1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,12 +233,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prove untestable faults before the GA passes")
     p.add_argument("--compact", action="store_true",
                    help="drop test sequences that add no coverage")
+    _add_sim_options(p)
     p.set_defaults(func=cmd_atpg)
 
     p = sub.add_parser("faultsim", help="grade a vector file")
     p.add_argument("circuit")
     p.add_argument("vectors", help="file with one 0/1/x vector per line")
     p.add_argument("--list-undetected", action="store_true")
+    _add_sim_options(p)
     p.set_defaults(func=cmd_faultsim)
 
     p = sub.add_parser("convert", help="convert between .bench and .v")

@@ -33,7 +33,7 @@ from ..faults.model import Fault
 from ..simulation.compiled import CompiledCircuit, compile_circuit
 from ..simulation.encoding import X, full_mask, pack, pack_const
 from ..simulation.fault_sim import injection_for
-from ..simulation.logic_sim import FrameSimulator
+from ..simulation.logic_sim import make_simulator, resolve_backend
 from .engine import GAParams, GeneticAlgorithm
 
 #: Fitness weights for the good and faulty circuit goals (paper: 9/10, 1/10).
@@ -68,6 +68,9 @@ class GAStateJustifier:
     Args:
         circuit: circuit or compiled form.
         rng: random source shared across attempts (seed for reproducibility).
+        constraints: environment input constraints applied by construction.
+        backend: frame-simulator backend for fitness evaluation (``"event"``
+            or ``"codegen"``); ``None`` defers to ``REPRO_SIM_BACKEND``.
     """
 
     def __init__(
@@ -75,6 +78,7 @@ class GAStateJustifier:
         circuit: "Circuit | CompiledCircuit",
         rng: Optional[random.Random] = None,
         constraints: Optional[InputConstraints] = None,
+        backend: Optional[str] = None,
     ):
         self.cc = (
             circuit
@@ -82,6 +86,7 @@ class GAStateJustifier:
             else compile_circuit(circuit)
         )
         self.rng = rng or random.Random()
+        self.backend = resolve_backend(backend)
         self.n_pi = len(self.cc.pi)
         self.n_ff = len(self.cc.ff_out)
         self.constraints = constraints or UNCONSTRAINED
@@ -239,12 +244,13 @@ class _SequenceEvaluator:
         cc = j.cc
         w = len(batch)
         mask = full_mask(w)
-        good_sim = FrameSimulator(cc, width=w)
+        good_sim = make_simulator(cc, width=w, backend=j.backend)
         good_sim.set_state([pack_const(v, w) for v in self.start_good])
         injections = (
             [injection_for(cc, self.fault, mask)] if self.fault else []
         )
-        faulty_sim = FrameSimulator(cc, width=w, injections=injections)
+        faulty_sim = make_simulator(cc, width=w, injections=injections,
+                                    backend=j.backend)
         # faulty circuit starts all-unknown (paper, Section IV-A)
 
         seq_len = max(1, self.params.seq_len)

@@ -62,6 +62,11 @@ class HybridTestGenerator:
         constraints: environment-imposed input constraints every generated
             vector must satisfy (Section VI of the paper); enforced during
             search, during don't-care fill, and re-checked at validation.
+        backend: simulation backend for every simulator the driver builds
+            (``"event"`` or ``"codegen"``); ``None`` defers to the
+            ``REPRO_SIM_BACKEND`` environment variable.
+        jobs: worker processes for validation fault simulation (1 =
+            in-process).
     """
 
     def __init__(
@@ -75,6 +80,8 @@ class HybridTestGenerator:
         generator_name: str = "GA-HITEC",
         use_current_state: bool = True,
         constraints: Optional[InputConstraints] = None,
+        backend: Optional[str] = None,
+        jobs: int = 1,
     ):
         self.circuit = circuit
         self.cc = compile_circuit(circuit)
@@ -95,10 +102,16 @@ class HybridTestGenerator:
             max_solutions=max_solutions,
             testability=self.meas,
             constraints=active_constraints,
+            backend=backend,
         )
-        self.fault_sim = FaultSimulator(self.cc, width=width)
+        self.fault_sim = FaultSimulator(
+            self.cc, width=width, backend=backend, jobs=jobs
+        )
+        self.backend = self.fault_sim.backend
+        self.jobs = self.fault_sim.jobs
         self.ga_justifier = GAStateJustifier(
-            self.cc, rng=self.rng, constraints=active_constraints
+            self.cc, rng=self.rng, constraints=active_constraints,
+            backend=backend,
         )
         self.generator_name = generator_name
         self.use_current_state = use_current_state

@@ -1,0 +1,353 @@
+"""Code-generated simulation kernels: the ``codegen`` backend.
+
+For each compiled circuit (and each *shape* of injected faults) this
+module emits the full levelized combinational sweep as one specialized
+Python function — straight-line bitwise expressions over local variables,
+no per-gate dispatch, no tuple allocation, no attribute lookups — and
+``exec``-compiles it once.  :class:`CodegenFrameSimulator` is a drop-in
+replacement for the event-driven :class:`~repro.simulation.logic_sim.
+FrameSimulator` that runs the kernel instead of propagating events; the
+event backend remains the differential-testing oracle.
+
+Kernels are cached on the :class:`~repro.simulation.compiled.
+CompiledCircuit` itself, keyed by an *injection signature*: the fault
+sites and stuck values, but **not** the slot masks, which are passed in
+as runtime arguments.  Fault batches with the same shape (the common
+case: the GA justifier re-simulating one target fault for thousands of
+candidate sequences) therefore share a single compiled kernel, and the
+cache dies with the compiled circuit — no global state.
+
+A generated kernel looks like::
+
+    def _kernel(v1, v0, mask, m0):
+        n0 = ~m0
+        a3 = v1[3]; b3 = v0[3]          # read sources
+        a7 = a3 & a5; b7 = b3 | b5      # AND gate, inlined
+        a7 = a7 | m0; b7 = b7 & n0      # stem s-a-1 on the masked slots
+        v1[7] = a7; v0[7] = b7          # write back
+        ...
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from .compiled import CompiledCircuit, compile_circuit
+from .logic_sim import (
+    FrameSimulator,
+    Injection,
+    _apply_stuck,
+    register_backend,
+)
+
+#: Kernels cached per compiled circuit; evicted LRU beyond this many shapes.
+KERNEL_CACHE_LIMIT = 256
+
+#: Name of the per-CompiledCircuit attribute holding the kernel cache.
+_CACHE_ATTR = "_codegen_kernels"
+
+#: One canonical-order injection as it appears in a cache key.
+SignatureEntry = Tuple[int, int, int, int]
+Signature = Tuple[SignatureEntry, ...]
+
+
+def _canonical(injections: Iterable[Injection]) -> List[Injection]:
+    """Combinational injections in the canonical (signature) order.
+
+    Flip-flop D-pin injections are excluded: they act at the clock edge,
+    outside the combinational sweep, and are handled by the simulator.
+    """
+    comb = [inj for inj in injections if inj.ff_pos is None]
+    return sorted(
+        comb,
+        key=lambda inj: (
+            inj.net,
+            inj.stuck,
+            -1 if inj.gate_pos is None else inj.gate_pos,
+            -1 if inj.pin is None else inj.pin,
+        ),
+    )
+
+
+def injection_signature(injections: Iterable[Injection]) -> Signature:
+    """Hashable shape of a set of injections (sites and polarities, no masks)."""
+    return tuple(
+        (
+            inj.net,
+            inj.stuck,
+            -1 if inj.gate_pos is None else inj.gate_pos,
+            -1 if inj.pin is None else inj.pin,
+        )
+        for inj in _canonical(injections)
+    )
+
+
+def _force_lines(a: str, b: str, stuck: int, k: int) -> List[str]:
+    """Statements forcing the masked slots of ``(a, b)`` to the stuck value."""
+    if stuck == 1:
+        return [f"{a} = {a} | m{k}", f"{b} = {b} & n{k}"]
+    return [f"{a} = {a} & n{k}", f"{b} = {b} | m{k}"]
+
+
+def generate_kernel_source(
+    cc: CompiledCircuit,
+    injections: Sequence[Injection],
+    fn_name: str = "_kernel",
+    writeback: "Optional[frozenset]" = None,
+) -> str:
+    """Emit the specialized full-sweep function for one injection shape.
+
+    ``injections`` must already be in canonical order (mask argument ``k``
+    corresponds to ``injections[k]``).  ``writeback`` restricts which gate
+    outputs are stored back into the value arrays (``None`` stores all);
+    sources the kernel forces are always written back.
+    """
+    params = ["v1", "v0", "mask"] + [f"m{k}" for k in range(len(injections))]
+    body: List[str] = []
+
+    stem_by_net: Dict[int, List[int]] = {}
+    pin_by_site: Dict[Tuple[int, int], List[int]] = {}
+    for k, inj in enumerate(injections):
+        if inj.gate_pos is None:
+            stem_by_net.setdefault(inj.net, []).append(k)
+        else:
+            pin_by_site.setdefault((inj.gate_pos, inj.pin), []).append(k)
+        body.append(f"n{k} = ~m{k}")
+
+    # sources: primary inputs and flip-flop outputs
+    for idx in range(cc.num_nets):
+        if cc.gate_of[idx] is not None:
+            continue
+        body.append(f"a{idx} = v1[{idx}]")
+        body.append(f"b{idx} = v0[{idx}]")
+        ks = stem_by_net.get(idx)
+        if ks:
+            for k in ks:
+                body.extend(_force_lines(f"a{idx}", f"b{idx}",
+                                         injections[k].stuck, k))
+            # write the forced value back so reads see the faulted net
+            body.append(f"v1[{idx}] = a{idx}")
+            body.append(f"v0[{idx}] = b{idx}")
+
+    # gates, already in level order
+    for pos, gate in enumerate(cc.gates):
+        ops: List[Tuple[str, str]] = []
+        for pin_idx, src in enumerate(gate.fanin):
+            a, b = f"a{src}", f"b{src}"
+            ks = pin_by_site.get((pos, pin_idx))
+            if ks:
+                ta, tb = f"t{pos}_{pin_idx}a", f"t{pos}_{pin_idx}b"
+                body.append(f"{ta} = {a}")
+                body.append(f"{tb} = {b}")
+                for k in ks:
+                    body.extend(_force_lines(ta, tb, injections[k].stuck, k))
+                a, b = ta, tb
+            ops.append((a, b))
+
+        out = gate.out
+        oa, ob = f"a{out}", f"b{out}"
+        code = gate.code
+        if code <= 3:  # AND / NAND / OR / NOR
+            if code <= 1:
+                one = " & ".join(a for a, _ in ops) if ops else "mask"
+                zero = " | ".join(b for _, b in ops) if ops else "0"
+            else:
+                one = " | ".join(a for a, _ in ops) if ops else "0"
+                zero = " & ".join(b for _, b in ops) if ops else "mask"
+            if code in (1, 3):  # inverted forms swap the planes
+                one, zero = zero, one
+            body.append(f"{oa} = {one}")
+            body.append(f"{ob} = {zero}")
+        elif code <= 5:  # XOR / XNOR: parity fold from constant 0
+            if not ops:
+                cur = ("0", "mask")
+            else:
+                cur = ops[0]
+                for j in range(1, len(ops)):
+                    xa, xb = cur
+                    ya, yb = ops[j]
+                    na, nb = f"x{pos}_{j}a", f"x{pos}_{j}b"
+                    body.append(f"{na} = ({xa} & {yb}) | ({xb} & {ya})")
+                    body.append(f"{nb} = ({xa} & {ya}) | ({xb} & {yb})")
+                    cur = (na, nb)
+            if code == 5:
+                cur = (cur[1], cur[0])
+            body.append(f"{oa} = {cur[0]}")
+            body.append(f"{ob} = {cur[1]}")
+        elif code == 6:  # NOT
+            body.append(f"{oa} = {ops[0][1]}")
+            body.append(f"{ob} = {ops[0][0]}")
+        elif code == 7:  # BUF
+            body.append(f"{oa} = {ops[0][0]}")
+            body.append(f"{ob} = {ops[0][1]}")
+        elif code == 8:  # CONST0
+            body.append(f"{oa} = 0")
+            body.append(f"{ob} = mask")
+        else:  # CONST1
+            body.append(f"{oa} = mask")
+            body.append(f"{ob} = 0")
+
+        ks = stem_by_net.get(out)
+        if ks:
+            for k in ks:
+                body.extend(_force_lines(oa, ob, injections[k].stuck, k))
+        if writeback is None or out in writeback:
+            body.append(f"v1[{out}] = {oa}")
+            body.append(f"v0[{out}] = {ob}")
+
+    if not body:
+        body.append("pass")
+    lines = [f"def {fn_name}({', '.join(params)}):"]
+    lines.extend(f"    {stmt}" for stmt in body)
+    return "\n".join(lines) + "\n"
+
+
+def kernel_for(
+    cc: CompiledCircuit,
+    injections: Sequence[Injection],
+    writeback: "Optional[frozenset]" = None,
+) -> Callable[..., None]:
+    """The compiled sweep kernel for one canonical injection shape.
+
+    Cached on the compiled circuit itself (LRU, bounded by
+    :data:`KERNEL_CACHE_LIMIT`), so the cache's lifetime is the circuit's.
+    """
+    cache: "OrderedDict[Tuple[Signature, Optional[frozenset]], Callable[..., None]]"
+    cache = getattr(cc, _CACHE_ATTR, None)
+    if cache is None:
+        cache = OrderedDict()
+        setattr(cc, _CACHE_ATTR, cache)
+    key = (injection_signature(injections), writeback)
+    fn = cache.get(key)
+    if fn is None:
+        source = generate_kernel_source(cc, injections, writeback=writeback)
+        namespace: Dict[str, object] = {"__builtins__": {}}
+        exec(  # noqa: S102 - source is generated from the netlist, not user input
+            compile(source, f"<codegen:{cc.circuit.name}>", "exec"), namespace
+        )
+        fn = namespace["_kernel"]
+        cache[key] = fn
+        if len(cache) > KERNEL_CACHE_LIMIT:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return fn
+
+
+class CodegenFrameSimulator(FrameSimulator):
+    """Frame simulator whose settle phase is one generated-kernel call.
+
+    Same constructor, state and frame-advance API as
+    :class:`~repro.simulation.logic_sim.FrameSimulator`; only the
+    propagation strategy differs (full specialized sweep instead of
+    event-driven selective trace).  Registered as backend ``"codegen"``.
+    """
+
+    def __init__(
+        self,
+        circuit: "Circuit | CompiledCircuit",
+        width: int = 64,
+        injections: Iterable[Injection] = (),
+    ):
+        injections = list(injections)
+        super().__init__(circuit, width=width, injections=injections)
+        self._canon = _canonical(injections)
+        self._kernel_masks = tuple(inj.mask for inj in self._canon)
+        # Only the nets the frame loop observes are stored back by the hot
+        # kernel: primary outputs and flip-flop D inputs.  ``read`` of any
+        # other net falls back to a full-writeback kernel.
+        self._observed = frozenset(self.cc.po) | frozenset(self.cc.ff_in)
+        self._kernel = kernel_for(self.cc, self._canon, self._observed)
+        self._full_kernel = None
+        # get_state must resettle only when a stem fault forces a flip-flop
+        # output (the kernel re-asserts the force and writes it back)
+        ff_out = set(self.cc.ff_out)
+        self._state_needs_settle = any(
+            inj.gate_pos is None and inj.net in ff_out for inj in self._canon
+        )
+
+    def settle(self) -> None:
+        """Run the generated full sweep if any source changed."""
+        if self._dirty:
+            self._kernel(self.v1, self.v0, self.mask, *self._kernel_masks)
+            self._dirty = False
+
+    def apply_inputs(self, vector) -> None:
+        """Drive primary inputs with direct array writes (no event setup)."""
+        v1, v0 = self.v1, self.v0
+        mask = self.mask
+        if isinstance(vector, dict):
+            index = self.cc.index
+            for name, (p1, p0) in vector.items():
+                idx = index[name]
+                v1[idx] = p1 & mask
+                v0[idx] = p0 & mask
+        else:
+            for idx, (p1, p0) in zip(self.cc.pi, vector):
+                v1[idx] = p1 & mask
+                v0[idx] = p0 & mask
+        self._dirty = True
+
+    def clock(self) -> None:
+        """Latch D inputs into flip-flop outputs; resettling is deferred.
+
+        The next :meth:`settle` (triggered by the next frame's inputs or by
+        any read accessor) runs one sweep covering both the new state and
+        the new inputs, halving the sweeps per frame versus the event
+        backend's settle-on-clock.
+        """
+        self.settle()  # D values must be stable before the edge
+        v1, v0 = self.v1, self.v0
+        # read every D value before writing any output: a flip-flop may
+        # feed another flip-flop's D pin directly
+        new1 = [v1[i] for i in self.cc.ff_in]
+        new0 = [v0[i] for i in self.cc.ff_in]
+        for ff_pos, injs in self._ff_pin.items():
+            val = new1[ff_pos], new0[ff_pos]
+            for inj in injs:
+                val = _apply_stuck(val, inj.stuck, inj.mask)
+            new1[ff_pos], new0[ff_pos] = val
+        for out_idx, p1, p0 in zip(self.cc.ff_out, new1, new0):
+            v1[out_idx] = p1
+            v0[out_idx] = p0
+        self._dirty = True
+
+    # -- read accessors settle on demand (clock defers its sweep) --------
+    def read(self, net: str) -> "Tuple[int, int]":
+        self.settle()
+        idx = self.cc.index[net]
+        if self.cc.gate_of[idx] is not None and idx not in self._observed:
+            # refresh every net once via the full-writeback kernel
+            if self._full_kernel is None:
+                self._full_kernel = kernel_for(self.cc, self._canon, None)
+            self._full_kernel(self.v1, self.v0, self.mask, *self._kernel_masks)
+        return self.v1[idx], self.v0[idx]
+
+    def read_outputs(self) -> "List[Tuple[int, int]]":
+        self.settle()
+        return super().read_outputs()
+
+    def read_next_state(self) -> "List[Tuple[int, int]]":
+        self.settle()
+        return super().read_next_state()
+
+    def get_state(self) -> "List[Tuple[int, int]]":
+        # flip-flop outputs are sources the clock writes directly; a sweep
+        # only matters when a stem force sits on one of them
+        if self._state_needs_settle:
+            self.settle()
+        return super().get_state()
+
+    def _write_source(self, idx: int, value) -> None:
+        # Stem injections on sources are applied (and written back) by the
+        # kernel, so the write itself stays raw; any write re-arms the sweep.
+        p1, p0 = value
+        mask = self.mask
+        self.v1[idx] = p1 & mask
+        self.v0[idx] = p0 & mask
+        self._dirty = True
+
+
+register_backend("codegen", CodegenFrameSimulator)

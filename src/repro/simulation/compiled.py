@@ -9,6 +9,7 @@ form per circuit, so compilation cost is paid once.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -116,7 +117,14 @@ class CompiledCircuit:
         )
 
 
-_CACHE: Dict[int, CompiledCircuit] = {}
+#: Weak-valued cache: an entry lives only while some consumer still holds
+#: the :class:`CompiledCircuit` (which strongly references its source
+#: circuit).  Long-running multi-circuit sessions therefore never
+#: accumulate dead netlists the way the old strong ``id`` -> compiled map
+#: did; a dropped compiled form releases its circuit with it.
+_CACHE: "weakref.WeakValueDictionary[int, CompiledCircuit]" = (
+    weakref.WeakValueDictionary()
+)
 
 
 def compile_circuit(circuit: Circuit) -> CompiledCircuit:
@@ -124,6 +132,8 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
 
     The cache keys on object identity, so structural edits after compilation
     require a fresh :class:`~repro.circuit.Circuit` (or ``circuit.copy()``).
+    A recycled ``id`` from a garbage-collected circuit is detected by the
+    identity check and recompiled.
     """
     key = id(circuit)
     cached = _CACHE.get(key)

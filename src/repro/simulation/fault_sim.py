@@ -13,6 +13,7 @@ incremental regime PROOFS runs inside HITEC).
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -20,8 +21,8 @@ from ..circuit.gates import GateType
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from .compiled import CompiledCircuit, compile_circuit
-from .encoding import X, full_mask, pack_const, unpack
-from .logic_sim import FrameSimulator, Injection
+from .encoding import PackedValue, X, full_mask, pack_const, unpack
+from .logic_sim import FrameSimulator, Injection, make_simulator, resolve_backend
 
 
 def injection_for(cc: CompiledCircuit, fault: Fault, mask: int) -> Injection:
@@ -75,29 +76,92 @@ def _broadcast_vector(vector: Vector, width: int) -> List[Tuple[int, int]]:
     return [pack_const(v, width) for v in vector]
 
 
+def _pack_frames(
+    vectors: Sequence[Vector], width: int
+) -> List[List[PackedValue]]:
+    """Pre-pack a whole sequence once (three possible pairs per width)."""
+    table: Dict[int, PackedValue] = {}
+    frames: List[List[PackedValue]] = []
+    for vec in vectors:
+        row = []
+        for v in vec:
+            packed = table.get(v)
+            if packed is None:
+                packed = table[v] = pack_const(v, width)
+            row.append(packed)
+        frames.append(row)
+    return frames
+
+
+def _fork_available() -> bool:
+    """True when fault shards can run as forked worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _split_chunks(items: List, parts: int) -> List[List]:
+    """Split into at most ``parts`` contiguous, near-even, non-empty chunks."""
+    parts = max(1, min(parts, len(items)))
+    size, extra = divmod(len(items), parts)
+    chunks, start = [], 0
+    for i in range(parts):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+#: Context a forked shard worker inherits (set only around the Pool's life).
+_SHARD_CTX: Optional[tuple] = None
+
+
+def _run_shard(index: int):
+    """Worker entry point: fault-simulate one contiguous chunk of batches."""
+    sim, frames, chunks, fault_states, stop_early, record_signatures, \
+        good_outputs = _SHARD_CTX
+    local = FaultSimResult(good_outputs=good_outputs)
+    states = dict(fault_states)
+    for batch in chunks[index]:
+        sim._run_batch(frames, batch, states, local, stop_early,
+                       record_signatures)
+    return local.detected, local.fault_states, local.signatures
+
+
 class FaultSimulator:
     """Parallel-fault simulator over a fixed circuit.
 
     Args:
         circuit: circuit or compiled circuit to simulate.
         width: number of faults packed per pass (word width).
+        backend: frame-simulator backend (``"event"`` or ``"codegen"``);
+            ``None`` defers to ``REPRO_SIM_BACKEND`` / the default.
+        jobs: worker processes for :meth:`run`; 1 (the default) runs
+            in-process, >1 shards fault batches across forked workers on
+            platforms that support ``fork`` (in-process fallback elsewhere).
     """
 
-    def __init__(self, circuit: "Circuit | CompiledCircuit", width: int = 64):
+    def __init__(
+        self,
+        circuit: "Circuit | CompiledCircuit",
+        width: int = 64,
+        backend: Optional[str] = None,
+        jobs: int = 1,
+    ):
         self.cc = circuit if isinstance(circuit, CompiledCircuit) else compile_circuit(circuit)
         self.width = width
+        self.backend = resolve_backend(backend)
+        self.jobs = max(1, int(jobs))
 
     # ------------------------------------------------------------------
     def simulate_good(
         self, vectors: Sequence[Vector], state: Optional[Sequence[int]] = None
     ) -> Tuple[List[List[int]], List[int]]:
         """Fault-free simulation: per-frame PO scalars and the final state."""
-        sim = FrameSimulator(self.cc, width=1)
+        sim = make_simulator(self.cc, width=1, backend=self.backend)
         if state is not None:
             sim.set_state([pack_const(v, 1) for v in state])
         outputs: List[List[int]] = []
-        for vec in vectors:
-            po = sim.step(_broadcast_vector(vec, 1))
+        for frame in _pack_frames(vectors, 1):
+            po = sim.step(frame)
             outputs.append([unpack(v, 1)[0] for v in po])
         final_state = [unpack(v, 1)[0] for v in sim.get_state()]
         return outputs, final_state
@@ -110,6 +174,7 @@ class FaultSimulator:
         fault_states: Optional[Dict[Fault, List[int]]] = None,
         stop_on_all_detected: bool = True,
         record_signatures: bool = False,
+        jobs: Optional[int] = None,
     ) -> FaultSimResult:
         """Fault-simulate ``vectors`` against ``faults``.
 
@@ -124,11 +189,16 @@ class FaultSimulator:
                 position) observation point per fault into
                 ``result.signatures`` (disables early stopping) — the raw
                 material of a fault dictionary.
+            jobs: override the constructor's worker-process count for this
+                call.
 
         Returns:
             A :class:`FaultSimResult`; ``fault_states`` holds final states
-            only for faults *not* detected by this sequence.
+            only for faults *not* detected by this sequence.  Results are
+            identical whatever ``jobs`` is: batches are sharded whole, and
+            shard results merge back in batch order.
         """
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
         result = FaultSimResult()
         result.good_outputs, result.good_state = self.simulate_good(
             vectors, good_state
@@ -138,16 +208,63 @@ class FaultSimulator:
         if record_signatures:
             stop_on_all_detected = False
 
-        for start in range(0, len(faults), self.width):
-            batch = list(faults[start : start + self.width])
-            self._run_batch(vectors, batch, fault_states, result,
-                            stop_on_all_detected, record_signatures)
+        frames = _pack_frames(vectors, self.width)
+        batches = [
+            list(faults[start : start + self.width])
+            for start in range(0, len(faults), self.width)
+        ]
+        if jobs > 1 and len(batches) > 1 and _fork_available():
+            self._run_sharded(frames, batches, fault_states, result,
+                              stop_on_all_detected, record_signatures, jobs)
+        else:
+            for batch in batches:
+                self._run_batch(frames, batch, fault_states, result,
+                                stop_on_all_detected, record_signatures)
         return result
+
+    # ------------------------------------------------------------------
+    def _run_sharded(
+        self,
+        frames: List[List[PackedValue]],
+        batches: List[List[Fault]],
+        fault_states: Dict[Fault, List[int]],
+        result: FaultSimResult,
+        stop_early: bool,
+        record_signatures: bool,
+        jobs: int,
+    ) -> None:
+        """Partition whole batches across forked workers; merge in order."""
+        global _SHARD_CTX
+        chunks = _split_chunks(batches, jobs)
+        ctx = multiprocessing.get_context("fork")
+        _SHARD_CTX = (self, frames, chunks, fault_states, stop_early,
+                      record_signatures, result.good_outputs)
+        try:
+            with ctx.Pool(processes=len(chunks)) as pool:
+                shard_results = pool.map(_run_shard, range(len(chunks)))
+        except OSError:
+            # fork/pipe failure: degrade gracefully to in-process execution
+            for batch in batches:
+                self._run_batch(frames, batch, fault_states, result,
+                                stop_early, record_signatures)
+            return
+        finally:
+            _SHARD_CTX = None
+        # deterministic merge: shards come back in submission order, and
+        # each chunk preserves batch order, so the merged maps iterate in
+        # exactly the order the in-process loop would produce
+        for detected, states, signatures in shard_results:
+            result.detected.update(detected)
+            result.fault_states.update(states)
+            result.signatures.update(signatures)
+            for fault in detected:
+                fault_states.pop(fault, None)
+            fault_states.update(states)
 
     # ------------------------------------------------------------------
     def _run_batch(
         self,
-        vectors: Sequence[Vector],
+        frames: List[List[PackedValue]],
         batch: List[Fault],
         fault_states: Dict[Fault, List[int]],
         result: FaultSimResult,
@@ -160,7 +277,8 @@ class FaultSimulator:
             injection_for(self.cc, fault, 1 << slot)
             for slot, fault in enumerate(batch)
         ]
-        sim = FrameSimulator(self.cc, width=w, injections=injections)
+        sim = make_simulator(self.cc, width=w, injections=injections,
+                             backend=self.backend)
         # pack each flip-flop's value across the fault slots
         n_ff = len(self.cc.ff_out)
         if any(f in fault_states for f in batch):
@@ -182,8 +300,10 @@ class FaultSimulator:
 
         detected_mask = 0
         signatures = [set() for _ in batch] if record_signatures else None
-        for frame, vec in enumerate(vectors):
-            po_vals = sim.step(_broadcast_vector(vec, w))
+        for frame, packed_vec in enumerate(frames):
+            # frames are packed once per sequence at the full word width;
+            # the simulator masks them down to this batch's width
+            po_vals = sim.step(packed_vec)
             good_po = result.good_outputs[frame]
             for po_pos, ((f1, f0), gv) in enumerate(zip(po_vals, good_po)):
                 if gv == X:
@@ -228,10 +348,12 @@ def fault_coverage(
     vectors: Sequence[Vector],
     faults: Sequence[Fault],
     width: int = 64,
+    backend: Optional[str] = None,
+    jobs: int = 1,
 ) -> float:
     """Fraction of ``faults`` detected by ``vectors`` from the all-X state."""
     if not faults:
         return 0.0
-    sim = FaultSimulator(circuit, width=width)
+    sim = FaultSimulator(circuit, width=width, backend=backend, jobs=jobs)
     result = sim.run(vectors, faults)
     return len(result.detected) / len(faults)

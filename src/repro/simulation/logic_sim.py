@@ -15,8 +15,9 @@ input net (branch faults) — so different slots can carry different faults.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from ..circuit.gates import GateType
 from ..circuit.netlist import Circuit
@@ -28,6 +29,55 @@ from .encoding import (
     full_mask,
     pack_const,
 )
+
+#: Environment variable selecting the default simulation backend.
+BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+#: Backend used when neither the caller nor the environment chooses one.
+DEFAULT_BACKEND = "event"
+
+#: Registered simulator classes by backend name.
+_BACKENDS: "Dict[str, Type[FrameSimulator]]" = {}
+
+
+def register_backend(name: str, cls: "Type[FrameSimulator]") -> None:
+    """Register a frame-simulator class under a backend name."""
+    _BACKENDS[name] = cls
+
+
+def available_backends() -> List[str]:
+    """Names of the registered simulation backends."""
+    resolve_backend("codegen")  # make sure the lazy backend is loaded
+    return sorted(_BACKENDS)
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend choice to a registered name.
+
+    ``None`` falls back to the :data:`BACKEND_ENV` environment variable,
+    then to :data:`DEFAULT_BACKEND`.  The ``codegen`` backend is imported
+    lazily on first request.
+    """
+    name = backend or os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    if name not in _BACKENDS and name == "codegen":
+        from . import codegen  # noqa: F401  (registers itself on import)
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; "
+            f"registered: {sorted(_BACKENDS)}"
+        )
+    return name
+
+
+def make_simulator(
+    circuit: "Circuit | CompiledCircuit",
+    width: int = 64,
+    injections: "Iterable[Injection]" = (),
+    backend: Optional[str] = None,
+) -> "FrameSimulator":
+    """Construct a frame simulator for the selected backend."""
+    cls = _BACKENDS[resolve_backend(backend)]
+    return cls(circuit, width=width, injections=injections)
 
 
 @dataclass(frozen=True)
@@ -314,18 +364,23 @@ class FrameSimulator:
             v0[gate.out] = p0
 
 
+register_backend("event", FrameSimulator)
+
+
 def simulate_sequence(
     circuit: "Circuit | CompiledCircuit",
     vectors: Sequence[Dict[str, PackedValue]],
     width: int = 1,
     injections: Iterable[Injection] = (),
     initial_state: Optional[Dict[str, PackedValue]] = None,
+    backend: Optional[str] = None,
 ) -> List[List[PackedValue]]:
     """Convenience wrapper: simulate a vector sequence from a given state.
 
     Returns the list of primary-output value lists, one per frame.
     """
-    sim = FrameSimulator(circuit, width=width, injections=injections)
+    sim = make_simulator(circuit, width=width, injections=injections,
+                         backend=backend)
     if initial_state:
         sim.set_state(initial_state)
     return [sim.step(v) for v in vectors]
