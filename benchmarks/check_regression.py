@@ -1,0 +1,89 @@
+"""Gate a fresh ``BENCH_simulation.json`` against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py NEW_JSON BASELINE_JSON \
+        [--min-ratio 0.8]
+
+The benchmark job regenerates ``BENCH_simulation.json`` by running the
+parallelism/backend ablation, then calls this script with the fresh file
+and the baseline committed at the repository root.  The gate fails (exit
+status 1) when the fresh codegen-vs-event speedup at width 64 drops below
+``--min-ratio`` of the baseline's — i.e. the generated kernels lost a
+meaningful fraction of their advantage.  Raw per-width timings are printed
+for context but not gated: absolute seconds vary with runner hardware,
+while the codegen/event *ratio* is measured on the same machine in the
+same run and is therefore stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+#: Key of the gated headline metric inside ``BENCH_simulation.json``.
+SPEEDUP_KEY = "codegen_speedup_width64"
+
+
+def load(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare(
+    new: Dict[str, Any], baseline: Dict[str, Any], min_ratio: float
+) -> int:
+    """Print the comparison; return a process exit status."""
+    new_speedup = float(new[SPEEDUP_KEY])
+    base_speedup = float(baseline[SPEEDUP_KEY])
+    ratio = new_speedup / base_speedup if base_speedup else float("inf")
+
+    print(f"benchmark regression gate ({new.get('circuit', '?')}):")
+    for backend in new.get("backends", []):
+        new_s = new.get("seconds", {}).get(backend, {})
+        base_s = baseline.get("seconds", {}).get(backend, {})
+        for width, seconds in new_s.items():
+            base = base_s.get(width)
+            delta = (
+                f"{100.0 * (seconds / base - 1.0):+6.1f}%"
+                if base
+                else "   n/a"
+            )
+            print(
+                f"  {backend:>8s} width {width:>4s}: "
+                f"{seconds * 1e3:8.1f} ms (baseline delta {delta})"
+            )
+    print(
+        f"  codegen speedup at width 64: {new_speedup:.2f}x "
+        f"(baseline {base_speedup:.2f}x, ratio {ratio:.2f}, "
+        f"floor {min_ratio:.2f})"
+    )
+    if ratio < min_ratio:
+        print(
+            f"  FAIL: speedup ratio {ratio:.2f} fell below the "
+            f"{min_ratio:.2f}x floor — the codegen backend regressed "
+            "relative to the event backend"
+        )
+        return 1
+    print("  PASS")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", help="freshly generated BENCH_simulation.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.8,
+        help="minimum new/baseline speedup ratio (default 0.8)",
+    )
+    args = parser.parse_args(argv)
+    return compare(load(args.new), load(args.baseline), args.min_ratio)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

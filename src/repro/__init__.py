@@ -84,6 +84,13 @@ from .hybrid import (
     hitec_baseline,
     hitec_schedule,
 )
+from .telemetry import (
+    RunReport,
+    TelemetryRecorder,
+    diff_reports,
+    render_diff,
+    validate_report,
+)
 from .rtl import RtlBuilder
 from .circuits import (
     am2910,
@@ -142,8 +149,13 @@ __all__ = [
     "PassConfig",
     "PodemEngine",
     "RtlBuilder",
+    "RunReport",
     "RunResult",
     "SequentialTestGenerator",
+    "TelemetryRecorder",
+    "diff_reports",
+    "render_diff",
+    "validate_report",
     "TestGenStatus",
     "am2910",
     "collapse_faults",

@@ -26,6 +26,7 @@ from ..faults.model import Fault
 from ..simulation.compiled import CompiledCircuit, compile_circuit
 from ..simulation.encoding import X
 from ..simulation.fault_sim import FaultSimulator
+from ..telemetry import NULL_RECORDER, Recorder
 from .constraints import InputConstraints
 from .justify import JustifyResult, JustifyStatus
 from .podem import Limits, PodemEngine, SearchStatus, Solution
@@ -102,6 +103,7 @@ class SequentialTestGenerator:
             whose frame-0 faulty state differs from the good state the
             justifier produced); unverified candidates count as
             justification failures and the search continues.
+        telemetry: metrics recorder (defaults to the shared no-op).
     """
 
     def __init__(
@@ -113,6 +115,7 @@ class SequentialTestGenerator:
         constraints: Optional[InputConstraints] = None,
         verify: bool = True,
         backend: Optional[str] = None,
+        telemetry: Optional[Recorder] = None,
     ):
         self.cc = (
             circuit
@@ -124,7 +127,9 @@ class SequentialTestGenerator:
         self.meas = testability or compute_testability(self.cc)
         self.constraints = constraints
         self.verify = verify
-        self._verifier = FaultSimulator(self.cc, width=1, backend=backend)
+        self.telemetry = telemetry or NULL_RECORDER
+        self._verifier = FaultSimulator(self.cc, width=1, backend=backend,
+                                        telemetry=self.telemetry)
 
     def generate(
         self,
@@ -148,6 +153,31 @@ class SequentialTestGenerator:
                 actually be applied from (defaults: all-unknown) — used to
                 verify candidates when ``verify`` is on.
         """
+        with self.telemetry.span("atpg.fault"):
+            result = self._generate(
+                fault, justifier, limits, start_good_state, start_fault_state
+            )
+        tel = self.telemetry
+        c = result.counters
+        tel.count("atpg.faults_targeted")
+        tel.count(f"atpg.status.{result.status.value}")
+        tel.count("atpg.backtracks", result.backtracks)
+        tel.count("atpg.excite_attempts", c.excite_attempts)
+        tel.count("atpg.propagation_solutions", c.propagation_solutions)
+        tel.count("atpg.justify_calls", c.justify_calls)
+        tel.count("atpg.justify_successes", c.justify_successes)
+        tel.count("atpg.propagation_backtracks", c.propagation_backtracks)
+        tel.count("atpg.verification_rejects", c.verification_rejects)
+        return result
+
+    def _generate(
+        self,
+        fault: Fault,
+        justifier: Justifier,
+        limits: Limits,
+        start_good_state: Optional[List[int]] = None,
+        start_fault_state: Optional[List[int]] = None,
+    ) -> TestGenResult:
         self._start_good = start_good_state
         self._start_fault = start_fault_state
         self._fault = fault
@@ -169,7 +199,12 @@ class SequentialTestGenerator:
             counters.excite_attempts += 1
             solutions_tried = 0
             truncated = False
-            for sol in engine.solutions(limits):
+            solutions = engine.solutions(limits)
+            while True:
+                with self.telemetry.span("atpg.propagate"):
+                    sol = next(solutions, None)
+                if sol is None:
+                    break
                 counters.propagation_solutions += 1
                 solutions_tried += 1
                 result, jstatus = self._try_justify(sol, justifier, counters)
@@ -241,7 +276,8 @@ class SequentialTestGenerator:
                 JustifyStatus.JUSTIFIED,
             )
         counters.justify_calls += 1
-        jres = justifier(required)
+        with self.telemetry.span("atpg.justify"):
+            jres = justifier(required)
         if jres.success:
             counters.justify_successes += 1
             return (

@@ -5,7 +5,10 @@ Commands
 
 ``stats``     — print a circuit's interface/size statistics.
 ``faults``    — enumerate the (collapsed) stuck-at fault list.
-``atpg``      — run GA-HITEC (or the HITEC baseline) and write the tests.
+``atpg``      — run GA-HITEC (or the HITEC baseline) and write the tests
+(alias: ``run-hybrid``); ``--telemetry`` saves a structured run report,
+``--trace`` saves span trace events as JSONL.
+``report``    — pretty-print a saved run report, or diff two of them.
 ``faultsim``  — grade an existing vector file against the fault list.
 ``convert``   — translate between ``.bench`` and structural Verilog.
 ``scan``      — insert a full-scan chain and write the scanned netlist.
@@ -33,6 +36,7 @@ from .circuits.synth import am2910, div16, mult16, pcont2
 from .faults.collapse import collapse_faults
 from .hybrid.driver import gahitec, hitec_baseline
 from .hybrid.passes import gahitec_schedule, hitec_schedule
+from .telemetry import RunReport, TelemetryRecorder, render_diff
 
 _SYNTH = {
     "am2910": am2910,
@@ -97,9 +101,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
 def cmd_atpg(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit)
     x = args.seq_len or max(4, 4 * circuit.sequential_depth)
+    recorder = None
+    if args.telemetry or args.trace:
+        recorder = TelemetryRecorder(trace=bool(args.trace))
     if args.baseline:
         driver = hitec_baseline(circuit, seed=args.seed,
-                                backend=args.backend, jobs=args.jobs)
+                                backend=args.backend, jobs=args.jobs,
+                                telemetry=recorder)
         schedule = hitec_schedule(
             num_passes=args.passes,
             time_scale=args.time_scale,
@@ -107,7 +115,8 @@ def cmd_atpg(args: argparse.Namespace) -> int:
         )
     else:
         driver = gahitec(circuit, seed=args.seed,
-                         backend=args.backend, jobs=args.jobs)
+                         backend=args.backend, jobs=args.jobs,
+                         telemetry=recorder)
         schedule = gahitec_schedule(
             x=x,
             num_passes=args.passes,
@@ -130,6 +139,23 @@ def cmd_atpg(args: argparse.Namespace) -> int:
     if args.output:
         _write_vectors(args.output, vectors)
         print(f"wrote {len(vectors)} vectors to {args.output}")
+    if args.telemetry and result.report is not None:
+        result.report.save(args.telemetry)
+        print(f"wrote telemetry report to {args.telemetry}")
+    if args.trace and recorder is not None:
+        recorder.save_trace(args.trace)
+        print(f"wrote {len(recorder.trace_events)} trace events "
+              f"to {args.trace}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    new = RunReport.load(args.report)
+    if args.against:
+        old = RunReport.load(args.against)
+        print(render_diff(new, old, only_changed=args.changed_only))
+    else:
+        print(new.summary())
     return 0
 
 
@@ -216,7 +242,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("circuit")
     p.set_defaults(func=cmd_faults)
 
-    p = sub.add_parser("atpg", help="generate tests (GA-HITEC)")
+    p = sub.add_parser(
+        "atpg", aliases=["run-hybrid"], help="generate tests (GA-HITEC)"
+    )
     p.add_argument("circuit")
     p.add_argument("-o", "--output", help="write vectors to this file")
     p.add_argument("--baseline", action="store_true",
@@ -233,8 +261,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prove untestable faults before the GA passes")
     p.add_argument("--compact", action="store_true",
                    help="drop test sequences that add no coverage")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="write a structured run report (JSON) to PATH")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write span trace events (JSONL) to PATH")
     _add_sim_options(p)
     p.set_defaults(func=cmd_atpg)
+
+    p = sub.add_parser(
+        "report", help="pretty-print a run report, or diff two reports"
+    )
+    p.add_argument("report", help="run report JSON written by --telemetry")
+    p.add_argument("against", nargs="?", default=None,
+                   help="older report to diff against")
+    p.add_argument("--changed-only", action="store_true",
+                   help="only show fields whose values differ")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("faultsim", help="grade a vector file")
     p.add_argument("circuit")

@@ -24,6 +24,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
+from ..telemetry import NULL_RECORDER, Recorder
+
 T = TypeVar("T")
 
 #: Batch evaluator: genomes -> (fitness per genome, early-exit payload).
@@ -136,6 +138,7 @@ class GeneticAlgorithm(Generic[T]):
         params: evolution parameters.
         evaluator: batch fitness function with early-exit payload.
         rng: random source (seed it for reproducible runs).
+        telemetry: metrics recorder (defaults to the shared no-op).
     """
 
     def __init__(
@@ -144,6 +147,7 @@ class GeneticAlgorithm(Generic[T]):
         params: GAParams,
         evaluator: Evaluator,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Recorder] = None,
     ):
         if n_bits <= 0:
             raise ValueError("genomes need at least one bit")
@@ -153,6 +157,7 @@ class GeneticAlgorithm(Generic[T]):
         self.params = params
         self.evaluator = evaluator
         self.rng = rng or random.Random()
+        self.telemetry = telemetry or NULL_RECORDER
 
     def random_population(self) -> List[int]:
         """Uniform random initial population."""
@@ -170,6 +175,7 @@ class GeneticAlgorithm(Generic[T]):
         evaluations = 0
         selector = TournamentSelector(self.rng)
 
+        result: Optional[GAResult[T]] = None
         for generation in range(self.params.generations):
             fitnesses, payload = self.evaluator(population)
             evaluations += len(population)
@@ -177,14 +183,22 @@ class GeneticAlgorithm(Generic[T]):
                 if fit > best_fitness:
                     best_genome, best_fitness = genome, fit
             if payload is not None:
-                return GAResult(
+                result = GAResult(
                     best_genome, best_fitness, payload, generation + 1, evaluations
                 )
+                break
             population = self._next_generation(population, fitnesses, selector)
 
-        return GAResult(
-            best_genome, best_fitness, None, self.params.generations, evaluations
-        )
+        if result is None:
+            result = GAResult(
+                best_genome, best_fitness, None, self.params.generations,
+                evaluations,
+            )
+        telemetry = self.telemetry
+        telemetry.count("ga.runs")
+        telemetry.count("ga.generations", result.generations_run)
+        telemetry.count("ga.evaluations", result.evaluations)
+        return result
 
     def _next_generation(
         self,

@@ -34,6 +34,7 @@ from ..simulation.compiled import CompiledCircuit, compile_circuit
 from ..simulation.encoding import X, full_mask, pack, pack_const
 from ..simulation.fault_sim import injection_for
 from ..simulation.logic_sim import make_simulator, resolve_backend
+from ..telemetry import NULL_RECORDER, Recorder
 from .engine import GAParams, GeneticAlgorithm
 
 #: Fitness weights for the good and faulty circuit goals (paper: 9/10, 1/10).
@@ -71,6 +72,7 @@ class GAStateJustifier:
         constraints: environment input constraints applied by construction.
         backend: frame-simulator backend for fitness evaluation (``"event"``
             or ``"codegen"``); ``None`` defers to ``REPRO_SIM_BACKEND``.
+        telemetry: metrics recorder (defaults to the shared no-op).
     """
 
     def __init__(
@@ -79,6 +81,7 @@ class GAStateJustifier:
         rng: Optional[random.Random] = None,
         constraints: Optional[InputConstraints] = None,
         backend: Optional[str] = None,
+        telemetry: Optional[Recorder] = None,
     ):
         self.cc = (
             circuit
@@ -86,6 +89,7 @@ class GAStateJustifier:
             else compile_circuit(circuit)
         )
         self.rng = rng or random.Random()
+        self.telemetry = telemetry or NULL_RECORDER
         self.backend = resolve_backend(backend)
         self.n_pi = len(self.cc.pi)
         self.n_ff = len(self.cc.ff_out)
@@ -142,6 +146,7 @@ class GAStateJustifier:
         # already satisfies the requirement and the all-unknown faulty
         # state does too (i.e. no cared faulty bits), nothing to justify.
         if self._state_matches(required_good, start_good) and not required_faulty:
+            self.telemetry.count("ga.justify.trivial")
             return JustifyResult(JustifyStatus.JUSTIFIED, [])
 
         n_bits = max(1, params.seq_len * self.n_pi)
@@ -156,9 +161,12 @@ class GAStateJustifier:
             ),
             evaluator.evaluate,
             rng=self.rng,
+            telemetry=self.telemetry,
         )
-        result = ga.run()
+        with self.telemetry.span("ga.justify"):
+            result = ga.run()
         if result.payload is not None:
+            self.telemetry.count("ga.justify.successes")
             return JustifyResult(JustifyStatus.JUSTIFIED, result.payload)
         return JustifyResult(JustifyStatus.BOUNDED)
 

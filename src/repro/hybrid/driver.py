@@ -14,6 +14,15 @@ reached after all previously accepted tests — which is one of the paper's
 key advantages over HITEC's always-from-unknown justification.
 :func:`hitec_baseline` builds the same driver with deterministic-only
 justification.
+
+Every run is measured: the driver threads a
+:class:`~repro.telemetry.metrics.Recorder` through the sequential engine,
+the GA justifier, and the fault simulator, and assembles a
+:class:`~repro.telemetry.report.RunReport` (per-pass statistics, per-fault
+dispositions, kernel-compile and simulation volume, wall/CPU time) on the
+returned :class:`~repro.hybrid.results.RunResult`.  With the default
+no-op recorder only the report's own bookkeeping runs — a few dictionary
+operations per fault.
 """
 
 from __future__ import annotations
@@ -22,11 +31,8 @@ import random
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..atpg.hitec import (
-    SequentialTestGenerator,
-    TestGenStatus,
-)
 from ..atpg.constraints import InputConstraints, UNCONSTRAINED
+from ..atpg.hitec import SequentialTestGenerator, TestGenStatus
 from ..atpg.justify import JustifyResult, justify_state
 from ..atpg.podem import Limits
 from ..atpg.scoap import compute_testability
@@ -34,10 +40,19 @@ from ..circuit.netlist import Circuit
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..ga.justification import GAJustifyParams, GAStateJustifier
+from ..simulation import codegen
 from ..simulation.compiled import compile_circuit
 from ..simulation.encoding import X
 from ..simulation.fault_sim import FaultSimulator
-from .passes import DETERMINISTIC, GA, PassConfig
+from ..telemetry import (
+    NULL_RECORDER,
+    FaultRecord,
+    PassReport,
+    Recorder,
+    RunReport,
+    TelemetryRecorder,
+)
+from .passes import GA, PassConfig
 from .results import PassStats, RunResult
 
 
@@ -67,6 +82,8 @@ class HybridTestGenerator:
             ``REPRO_SIM_BACKEND`` environment variable.
         jobs: worker processes for validation fault simulation (1 =
             in-process).
+        telemetry: metrics/trace recorder shared by every component the
+            driver builds; defaults to the shared no-op recorder.
     """
 
     def __init__(
@@ -82,20 +99,21 @@ class HybridTestGenerator:
         constraints: Optional[InputConstraints] = None,
         backend: Optional[str] = None,
         jobs: int = 1,
+        telemetry: Optional[Recorder] = None,
     ):
         self.circuit = circuit
         self.cc = compile_circuit(circuit)
+        self.seed = seed
         self.rng = random.Random(seed)
         self.width = width
+        self.telemetry = telemetry or NULL_RECORDER
         if max_frames is None:
             max_frames = min(16, max(4, 2 * circuit.sequential_depth + 2))
         self.max_frames = max_frames
         self.meas = compute_testability(self.cc)
         self.constraints = constraints or UNCONSTRAINED
         self.constraints.validate(circuit)
-        active_constraints = (
-            None if self.constraints.is_trivial else self.constraints
-        )
+        active_constraints = None if self.constraints.is_trivial else self.constraints
         self.seqgen = SequentialTestGenerator(
             self.cc,
             max_frames=max_frames,
@@ -103,15 +121,23 @@ class HybridTestGenerator:
             testability=self.meas,
             constraints=active_constraints,
             backend=backend,
+            telemetry=self.telemetry,
         )
         self.fault_sim = FaultSimulator(
-            self.cc, width=width, backend=backend, jobs=jobs
+            self.cc,
+            width=width,
+            backend=backend,
+            jobs=jobs,
+            telemetry=self.telemetry,
         )
         self.backend = self.fault_sim.backend
         self.jobs = self.fault_sim.jobs
         self.ga_justifier = GAStateJustifier(
-            self.cc, rng=self.rng, constraints=active_constraints,
+            self.cc,
+            rng=self.rng,
+            constraints=active_constraints,
             backend=backend,
+            telemetry=self.telemetry,
         )
         self.generator_name = generator_name
         self.use_current_state = use_current_state
@@ -127,6 +153,7 @@ class HybridTestGenerator:
         self.blocks: List[int] = []
         self.good_state: List[int] = [X] * len(self.cc.ff_out)
         self.fault_states: Dict[Fault, List[int]] = {}
+        self._records: Dict[Fault, FaultRecord] = {}
         #: faults proven untestable by :meth:`prefilter_untestable`
         self.prefiltered_untestable: List[Fault] = []
 
@@ -143,6 +170,7 @@ class HybridTestGenerator:
         GA passes wasting time on untestable faults.  Returns the proven
         faults and removes them from the target list.
         """
+
         def refuse(_required: Dict[str, int]) -> JustifyResult:
             from ..atpg.justify import JustifyStatus
 
@@ -151,20 +179,23 @@ class HybridTestGenerator:
         deadline = time.monotonic() + time_limit if time_limit else None
         proven: List[Fault] = []
         kept: List[Fault] = []
-        for fault in self.all_faults:
-            limits = Limits(max_backtracks=max_backtracks, deadline=deadline)
-            res = self.seqgen.generate(fault, refuse, limits)
-            if res.status is TestGenStatus.UNTESTABLE:
-                proven.append(fault)
-            else:
-                kept.append(fault)
+        with self.telemetry.span("hybrid.prefilter"):
+            for fault in self.all_faults:
+                limits = Limits(max_backtracks=max_backtracks, deadline=deadline)
+                res = self.seqgen.generate(fault, refuse, limits)
+                if res.status is TestGenStatus.UNTESTABLE:
+                    proven.append(fault)
+                else:
+                    kept.append(fault)
+        self.telemetry.count("hybrid.prefiltered", len(proven))
         self.all_faults = kept
         self.prefiltered_untestable = proven
         return proven
 
     # ------------------------------------------------------------------
     def run(self, schedule: Sequence[PassConfig]) -> RunResult:
-        """Execute the whole schedule and return per-pass statistics."""
+        """Execute the whole schedule; return statistics and a run report."""
+        tel = self.telemetry
         result = RunResult(
             circuit_name=self.circuit.name,
             generator=self.generator_name,
@@ -177,25 +208,93 @@ class HybridTestGenerator:
         self.blocks = []
         self.good_state = [X] * len(self.cc.ff_out)
         self.fault_states = {}
+        self._records = {}
 
-        elapsed = 0.0
+        report = RunReport(
+            circuit=self.circuit.name,
+            generator=self.generator_name,
+            total_faults=len(self.all_faults),
+            seed=self.seed,
+            backend=self.backend,
+            jobs=self.jobs,
+            width=self.width,
+        )
+        compiles0 = codegen.COMPILE_STATS["kernels"]
+        compile_s0 = codegen.COMPILE_STATS["seconds"]
+        wall0 = time.monotonic()
+        cpu0 = time.process_time()
         for cfg in schedule:
-            start = time.monotonic()
-            stats = self.run_pass(cfg)
-            elapsed += time.monotonic() - start
+            pass_start = time.monotonic()
+            untestable_before = len(self.untestable)
+            with tel.span(
+                "hybrid.pass", number=cfg.number, approach=cfg.justification
+            ):
+                stats = self.run_pass(cfg)
             stats.detected = len(self.detected)
             stats.vectors = len(self.test_set)
             stats.untestable = len(self.untestable)
-            stats.time_s = elapsed
+            stats.time_s = time.monotonic() - wall0
             result.passes.append(stats)
+            report.passes.append(
+                PassReport(
+                    number=cfg.number,
+                    approach=cfg.justification,
+                    targeted=stats.targeted,
+                    detected_new=stats.detected_new,
+                    untestable_new=len(self.untestable) - untestable_before,
+                    aborted=stats.aborted,
+                    ga_justified=stats.ga_justified,
+                    det_justified=stats.det_justified,
+                    validation_failures=stats.validation_failures,
+                    time_s=time.monotonic() - pass_start,
+                )
+            )
+
+        report.wall_time_s = time.monotonic() - wall0
+        report.cpu_time_s = time.process_time() - cpu0
+        report.kernel_compiles = int(codegen.COMPILE_STATS["kernels"] - compiles0)
+        report.kernel_compile_s = codegen.COMPILE_STATS["seconds"] - compile_s0
 
         result.test_set = list(self.test_set)
         result.detected = dict(self.detected)
         result.untestable = list(self.untestable)
         result.blocks = list(self.blocks)
+        self._finalize_report(report)
+        result.report = report
         return result
 
+    def _finalize_report(self, report: RunReport) -> None:
+        """Fill the campaign totals and per-fault dispositions."""
+        for fault in self.prefiltered_untestable:
+            report.faults.append(
+                FaultRecord(
+                    fault=str(fault),
+                    status="prefiltered",
+                    justification="deterministic",
+                )
+            )
+        for fault in self.all_faults:
+            report.faults.append(self._record_for(fault))
+        report.detected = len(self.detected)
+        report.untestable = len(self.untestable)
+        report.vectors = len(self.test_set)
+        report.fault_coverage = (
+            len(self.detected) / report.total_faults
+            if report.total_faults
+            else 0.0
+        )
+        if isinstance(self.telemetry, TelemetryRecorder):
+            report.metrics = self.telemetry.registry.to_dict()
+
     # ------------------------------------------------------------------
+    def _record_for(self, fault: Fault) -> FaultRecord:
+        record = self._records.get(fault)
+        if record is None:
+            record = self._records[fault] = FaultRecord(
+                fault=str(fault), status="aborted"
+            )
+        return record
+
     def run_pass(self, cfg: PassConfig) -> PassStats:
         """Make one pass through the remaining fault list."""
         stats = PassStats(number=cfg.number, approach=cfg.justification)
@@ -206,11 +305,28 @@ class HybridTestGenerator:
             stats.targeted += 1
             self._target_fault(fault, cfg, stats)
         stats.detected_new = len(self.detected) - before
+        for fault in self.detected:
+            record = self._record_for(fault)
+            if record.status != "detected":
+                record.status = "detected"
+                record.incidental = True
+                record.pass_number = cfg.number
         return stats
 
-    def _target_fault(self, fault: Fault, cfg: PassConfig, stats: PassStats) -> None:
+    def _target_fault(
+        self, fault: Fault, cfg: PassConfig, stats: PassStats
+    ) -> None:
+        tel = self.telemetry
+        record = self._record_for(fault)
+        record.targeted += 1
+        record.pass_number = cfg.number
+        ga_generations0 = tel.value("ga.generations")
+        started = time.perf_counter()
+
         deadline = (
-            time.monotonic() + cfg.time_limit if cfg.time_limit is not None else None
+            time.monotonic() + cfg.time_limit
+            if cfg.time_limit is not None
+            else None
         )
         limits = Limits(max_backtracks=cfg.max_backtracks, deadline=deadline)
         justifier = self._make_justifier(fault, cfg, limits)
@@ -221,25 +337,33 @@ class HybridTestGenerator:
             start_good_state=list(self.good_state),
             start_fault_state=self.fault_states.get(fault),
         )
+        record.backtracks += result.backtracks
+        record.ga_generations += tel.value("ga.generations") - ga_generations0
 
         if result.status is TestGenStatus.DETECTED:
             sequence = [self._fill_x(vec) for vec in result.sequence]
             if not self.constraints.is_trivial:
                 self.constraints.apply_to_vectors(self.circuit, sequence)
             if self._validate_and_commit(fault, sequence):
+                record.status = "detected"
+                if result.justification_frames:
+                    record.justification = (
+                        "ga" if cfg.justification == GA else "deterministic"
+                    )
                 if cfg.justification == GA and result.justification_frames:
                     stats.ga_justified += 1
                 elif result.justification_frames:
                     stats.det_justified += 1
-                return
-            stats.aborted += 1
-            stats.validation_failures += 1
-            return
-        if result.status is TestGenStatus.UNTESTABLE:
+            else:
+                stats.aborted += 1
+                stats.validation_failures += 1
+        elif result.status is TestGenStatus.UNTESTABLE:
+            record.status = "untestable"
             self.untestable.append(fault)
             self.remaining.remove(fault)
-            return
-        stats.aborted += 1
+        else:
+            stats.aborted += 1
+        record.time_s += time.perf_counter() - started
 
     # ------------------------------------------------------------------
     def _make_justifier(
@@ -255,26 +379,30 @@ class HybridTestGenerator:
 
             def ga_justify(required: Dict[str, int]) -> JustifyResult:
                 start = self.good_state if self.use_current_state else None
-                return self.ga_justifier.justify(
-                    required,
-                    params,
-                    fault=fault,
-                    current_good_state=start,
-                )
+                with self.telemetry.span("justify.ga"):
+                    return self.ga_justifier.justify(
+                        required,
+                        params,
+                        fault=fault,
+                        current_good_state=start,
+                    )
 
             return ga_justify
 
         def det_justify(required: Dict[str, int]) -> JustifyResult:
-            return justify_state(
-                self.cc,
-                required,
-                max_depth=cfg.justify_depth,
-                limits=limits,
-                testability=self.meas,
-                constraints=(
-                    None if self.constraints.is_trivial else self.constraints
-                ),
-            )
+            with self.telemetry.span("justify.det"):
+                return justify_state(
+                    self.cc,
+                    required,
+                    max_depth=cfg.justify_depth,
+                    limits=limits,
+                    testability=self.meas,
+                    constraints=(
+                        None
+                        if self.constraints.is_trivial
+                        else self.constraints
+                    ),
+                )
 
         return det_justify
 
@@ -282,7 +410,9 @@ class HybridTestGenerator:
         """Replace don't-cares with random bits (reproducible via the seed)."""
         return [self.rng.getrandbits(1) if v == X else v for v in vector]
 
-    def _validate_and_commit(self, target: Fault, sequence: List[List[int]]) -> bool:
+    def _validate_and_commit(
+        self, target: Fault, sequence: List[List[int]]
+    ) -> bool:
         """Fault-simulate the candidate; commit only if the target drops.
 
         The candidate is applied from the current good state.  On success,
@@ -290,14 +420,17 @@ class HybridTestGenerator:
         per-fault faulty states roll forward; on failure nothing changes.
         """
         trial_states = {f: list(s) for f, s in self.fault_states.items()}
-        sim = self.fault_sim.run(
-            sequence,
-            self.remaining,
-            good_state=self.good_state,
-            fault_states=trial_states,
-        )
+        self.telemetry.count("hybrid.validations")
+        with self.telemetry.span("hybrid.validate"):
+            sim = self.fault_sim.run(
+                sequence,
+                self.remaining,
+                good_state=self.good_state,
+                fault_states=trial_states,
+            )
         if target not in sim.detected:
             return False
+        self.telemetry.count("hybrid.commits")
         base = len(self.test_set)
         self.blocks.append(base)
         self.test_set.extend(sequence)

@@ -17,7 +17,7 @@ doubling — is preserved exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 #: Justification approach names.
@@ -149,7 +149,7 @@ def hitec_schedule(
     of 10,000 (Python gate evaluations are far slower), preserving the
     growth structure.
     """
-    schedule = []
+    schedule: List[PassConfig] = []
     seconds = 1.0
     backtracks = backtrack_base
     for number in range(1, num_passes + 1):

@@ -10,10 +10,11 @@ justification outcomes, Figure-1 flow counters).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..atpg.hitec import FlowCounters
 from ..faults.model import Fault
+from ..telemetry import RunReport
 
 
 @dataclass
@@ -74,6 +75,8 @@ class RunResult:
             sequence, in emission order (useful for compaction and for
             checking per-sequence constraints).
         flow: aggregated Figure-1 flow counters.
+        report: structured telemetry report for the campaign (per-pass and
+            per-fault detail, metrics snapshot, total wall/CPU time).
     """
 
     circuit_name: str
@@ -85,6 +88,7 @@ class RunResult:
     untestable: List[Fault] = field(default_factory=list)
     blocks: List[int] = field(default_factory=list)
     flow: FlowCounters = field(default_factory=FlowCounters)
+    report: Optional[RunReport] = None
 
     @property
     def fault_coverage(self) -> float:

@@ -30,6 +30,7 @@ A generated kernel looks like::
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -44,6 +45,11 @@ from .logic_sim import (
 
 #: Kernels cached per compiled circuit; evicted LRU beyond this many shapes.
 KERNEL_CACHE_LIMIT = 256
+
+#: Process-cumulative kernel compilation statistics.  The telemetry layer
+#: snapshots this around a campaign (reading deltas), so compile cost is
+#: attributable per run without threading a recorder into every simulator.
+COMPILE_STATS: Dict[str, float] = {"kernels": 0, "seconds": 0.0}
 
 #: Name of the per-CompiledCircuit attribute holding the kernel cache.
 _CACHE_ATTR = "_codegen_kernels"
@@ -222,6 +228,7 @@ def kernel_for(
     key = (injection_signature(injections), writeback)
     fn = cache.get(key)
     if fn is None:
+        t0 = time.perf_counter()
         source = generate_kernel_source(cc, injections, writeback=writeback)
         namespace: Dict[str, object] = {"__builtins__": {}}
         exec(  # noqa: S102 - source is generated from the netlist, not user input
@@ -229,6 +236,8 @@ def kernel_for(
         )
         fn = namespace["_kernel"]
         cache[key] = fn
+        COMPILE_STATS["kernels"] += 1
+        COMPILE_STATS["seconds"] += time.perf_counter() - t0
         if len(cache) > KERNEL_CACHE_LIMIT:
             cache.popitem(last=False)
     else:

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..circuit.gates import GateType
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
+from ..telemetry import NULL_RECORDER, Recorder
 from .compiled import CompiledCircuit, compile_circuit
 from .encoding import PackedValue, X, full_mask, pack_const, unpack
 from .logic_sim import FrameSimulator, Injection, make_simulator, resolve_backend
@@ -137,6 +138,9 @@ class FaultSimulator:
         jobs: worker processes for :meth:`run`; 1 (the default) runs
             in-process, >1 shards fault batches across forked workers on
             platforms that support ``fork`` (in-process fallback elsewhere).
+        telemetry: metrics recorder (defaults to the shared no-op).
+            Frame counters from forked shard workers are not merged back;
+            sharded runs record batch counts only.
     """
 
     def __init__(
@@ -145,11 +149,13 @@ class FaultSimulator:
         width: int = 64,
         backend: Optional[str] = None,
         jobs: int = 1,
+        telemetry: Optional[Recorder] = None,
     ):
         self.cc = circuit if isinstance(circuit, CompiledCircuit) else compile_circuit(circuit)
         self.width = width
         self.backend = resolve_backend(backend)
         self.jobs = max(1, int(jobs))
+        self.telemetry = telemetry or NULL_RECORDER
 
     # ------------------------------------------------------------------
     def simulate_good(
@@ -164,6 +170,7 @@ class FaultSimulator:
             po = sim.step(frame)
             outputs.append([unpack(v, 1)[0] for v in po])
         final_state = [unpack(v, 1)[0] for v in sim.get_state()]
+        self.telemetry.count("sim.good_frames", len(outputs))
         return outputs, final_state
 
     def run(
@@ -200,26 +207,31 @@ class FaultSimulator:
         """
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         result = FaultSimResult()
-        result.good_outputs, result.good_state = self.simulate_good(
-            vectors, good_state
-        )
-        if fault_states is None:
-            fault_states = {}
-        if record_signatures:
-            stop_on_all_detected = False
+        with self.telemetry.span("sim.fault_sim"):
+            result.good_outputs, result.good_state = self.simulate_good(
+                vectors, good_state
+            )
+            if fault_states is None:
+                fault_states = {}
+            if record_signatures:
+                stop_on_all_detected = False
 
-        frames = _pack_frames(vectors, self.width)
-        batches = [
-            list(faults[start : start + self.width])
-            for start in range(0, len(faults), self.width)
-        ]
-        if jobs > 1 and len(batches) > 1 and _fork_available():
-            self._run_sharded(frames, batches, fault_states, result,
-                              stop_on_all_detected, record_signatures, jobs)
-        else:
-            for batch in batches:
-                self._run_batch(frames, batch, fault_states, result,
-                                stop_on_all_detected, record_signatures)
+            frames = _pack_frames(vectors, self.width)
+            batches = [
+                list(faults[start : start + self.width])
+                for start in range(0, len(faults), self.width)
+            ]
+            self.telemetry.count("sim.runs")
+            self.telemetry.count("sim.faults", len(faults))
+            self.telemetry.count("sim.batches", len(batches))
+            if jobs > 1 and len(batches) > 1 and _fork_available():
+                self._run_sharded(frames, batches, fault_states, result,
+                                  stop_on_all_detected, record_signatures,
+                                  jobs)
+            else:
+                for batch in batches:
+                    self._run_batch(frames, batch, fault_states, result,
+                                    stop_on_all_detected, record_signatures)
         return result
 
     # ------------------------------------------------------------------
@@ -299,8 +311,10 @@ class FaultSimulator:
             sim.set_state(packed_state)
 
         detected_mask = 0
+        frames_stepped = 0
         signatures = [set() for _ in batch] if record_signatures else None
         for frame, packed_vec in enumerate(frames):
+            frames_stepped += 1
             # frames are packed once per sequence at the full word width;
             # the simulator masks them down to this batch's width
             po_vals = sim.step(packed_vec)
@@ -324,6 +338,7 @@ class FaultSimulator:
                             signatures[slot].add((frame, po_pos))
             if stop_early and detected_mask == mask_all:
                 break
+        self.telemetry.count("sim.frames", frames_stepped)
         if signatures is not None:
             for slot, fault in enumerate(batch):
                 result.signatures[fault] = frozenset(signatures[slot])

@@ -1,0 +1,178 @@
+"""Unit tests for repro.telemetry.report: schema, round-trip, diffing."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    FAULT_STATUSES,
+    FaultRecord,
+    PassReport,
+    RunReport,
+    SCHEMA,
+    diff_reports,
+    render_diff,
+    validate_report,
+)
+
+
+def sample_report(**overrides):
+    report = RunReport(
+        circuit="s27",
+        generator="ga-hitec",
+        total_faults=4,
+        seed=1,
+        backend="event",
+        detected=3,
+        untestable=1,
+        vectors=7,
+        fault_coverage=0.75,
+        wall_time_s=1.25,
+        cpu_time_s=1.0,
+        kernel_compiles=2,
+        kernel_compile_s=0.05,
+        passes=[
+            PassReport(
+                number=1,
+                approach="ga",
+                targeted=4,
+                detected_new=3,
+                untestable_new=1,
+                ga_justified=2,
+                time_s=1.0,
+            )
+        ],
+        faults=[
+            FaultRecord("g1/0", "detected", pass_number=1, targeted=1,
+                        justification="ga", ga_generations=3),
+            FaultRecord("g2/1", "detected", pass_number=1, targeted=1,
+                        justification="deterministic", backtracks=5),
+            FaultRecord("g3/0", "detected", pass_number=1, incidental=True),
+            FaultRecord("g4/1", "untestable", pass_number=1, targeted=1),
+        ],
+        metrics={"counters": {"atpg.backtracks": 5}, "histograms": {}},
+    )
+    for name, value in overrides.items():
+        setattr(report, name, value)
+    return report
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        report = sample_report()
+        clone = RunReport.from_dict(report.to_dict())
+        assert clone == report
+
+    def test_json_round_trip(self):
+        report = sample_report()
+        clone = RunReport.from_dict(json.loads(report.to_json()))
+        assert clone == report
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "report.json"
+        report = sample_report()
+        report.save(str(path))
+        assert RunReport.load(str(path)) == report
+
+    def test_schema_marker_embedded(self):
+        assert sample_report().to_dict()["schema"] == SCHEMA
+
+
+class TestValidation:
+    def test_valid_report_has_no_problems(self):
+        assert validate_report(sample_report().to_dict()) == []
+
+    def test_rejects_non_object(self):
+        assert validate_report([1, 2]) == ["report must be a JSON object"]
+
+    def test_rejects_wrong_schema(self):
+        data = sample_report().to_dict()
+        data["schema"] = "repro-run-report/v0"
+        assert any("schema" in p for p in validate_report(data))
+
+    def test_rejects_missing_keys(self):
+        data = sample_report().to_dict()
+        del data["total_faults"]
+        assert any("total_faults" in p for p in validate_report(data))
+
+    def test_rejects_wrong_types(self):
+        data = sample_report().to_dict()
+        data["detected"] = "three"
+        data["jobs"] = True  # bool is not an int for schema purposes
+        problems = validate_report(data)
+        assert any("'detected'" in p for p in problems)
+        assert any("'jobs'" in p for p in problems)
+
+    def test_rejects_unknown_fault_status(self):
+        data = sample_report().to_dict()
+        data["faults"][0]["status"] = "exploded"
+        assert any("unknown status" in p for p in validate_report(data))
+
+    def test_rejects_unknown_justification(self):
+        data = sample_report().to_dict()
+        data["faults"][0]["justification"] = "magic"
+        assert any("justification" in p for p in validate_report(data))
+
+    def test_rejects_malformed_pass_rows(self):
+        data = sample_report().to_dict()
+        data["passes"][0] = {"number": 1}
+        data["passes"].append("not a dict")
+        problems = validate_report(data)
+        assert any("passes[0] missing" in p for p in problems)
+        assert any("passes[1] is not an object" in p for p in problems)
+
+    def test_from_dict_raises_on_invalid(self):
+        with pytest.raises(ValueError, match="invalid run report"):
+            RunReport.from_dict({"schema": "nope"})
+
+    def test_status_vocabulary_is_closed(self):
+        assert set(FAULT_STATUSES) == {
+            "detected",
+            "untestable",
+            "aborted",
+            "prefiltered",
+        }
+
+
+class TestDiffing:
+    def test_identical_reports_diff_to_zero(self):
+        rows = diff_reports(sample_report(), sample_report())
+        assert all(delta == 0 for (_, _, delta) in rows.values())
+
+    def test_scalar_deltas(self):
+        new = sample_report(detected=4, fault_coverage=1.0)
+        old = sample_report()
+        rows = diff_reports(new, old)
+        assert rows["detected"] == (4, 3, 1)
+        assert rows["fault_coverage"] == (1.0, 0.75, 0.25)
+
+    def test_counter_union_with_missing_as_zero(self):
+        new = sample_report(
+            metrics={"counters": {"a": 2, "b": 1}, "histograms": {}}
+        )
+        old = sample_report(
+            metrics={"counters": {"b": 4, "c": 9}, "histograms": {}}
+        )
+        rows = diff_reports(new, old)
+        assert rows["counters.a"] == (2, 0, 2)
+        assert rows["counters.b"] == (1, 4, -3)
+        assert rows["counters.c"] == (0, 9, -9)
+
+    def test_render_diff_full_and_changed_only(self):
+        new = sample_report(detected=4)
+        old = sample_report()
+        full = render_diff(new, old)
+        assert "detected" in full and "total_faults" in full
+        changed = render_diff(new, old, only_changed=True)
+        assert "detected" in changed
+        assert "\ntotal_faults" not in changed
+
+
+class TestSummary:
+    def test_summary_mentions_key_facts(self):
+        text = sample_report().summary()
+        assert "s27" in text
+        assert "75.0%" in text
+        assert "pass 1" in text
+        assert "detected=3" in text and "untestable=1" in text
+        assert "atpg.backtracks" in text
