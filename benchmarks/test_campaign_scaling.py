@@ -1,0 +1,126 @@
+"""Campaign orchestration scaling: wall clock vs worker count.
+
+Two measurements over a three-circuit campaign:
+
+* **drill mode** (the gated headline): every work item is replaced by a
+  fixed-duration synthetic workload (``synthetic_item_seconds``), so the
+  numbers isolate the orchestration layer — dispatch, heartbeats,
+  journaling, merge — from ATPG cost *and* from how many cores the runner
+  happens to have.  A 4-worker campaign must clear 2x over 1 worker.
+* **real ATPG** (reported, not gated): a small s27 campaign at 1 and 2
+  workers.  On a single-core runner the CPU-bound speedup is physically
+  capped at ~1x; the number is recorded alongside the core count so
+  multi-core runs are interpretable.
+
+Results land in ``benchmarks/out/campaign_scaling.txt`` and the
+machine-readable ``BENCH_campaign.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.campaign import CampaignRunner, CampaignSpec
+
+from .conftest import write_artifact
+
+WORKER_COUNTS = [1, 2, 4]
+
+#: Drill campaign: 3 circuits x 4 items, each a fixed 0.25 s workload.
+DRILL_SPEC = dict(
+    circuits=("s27", "s298", "s344"),
+    name="scaling-drill",
+    seed=2,
+    shard_size=3,
+    fault_limit=12,
+    synthetic_item_seconds=0.25,
+)
+
+#: Real-ATPG campaign (small, ungated): full s27.
+REAL_SPEC = dict(
+    circuits=("s27",),
+    name="scaling-real",
+    seed=2,
+    shard_size=8,
+    passes=2,
+)
+
+
+def run_timed(spec_kwargs, journal, workers):
+    spec = CampaignSpec(**spec_kwargs)
+    start = time.perf_counter()
+    result = CampaignRunner(spec, str(journal), workers=workers).run()
+    return time.perf_counter() - start, result
+
+
+def test_campaign_worker_scaling(tmp_path):
+    drill = {}
+    items = None
+    for workers in WORKER_COUNTS:
+        seconds, result = run_timed(
+            DRILL_SPEC, tmp_path / f"drill{workers}.jsonl", workers
+        )
+        drill[workers] = seconds
+        items = result.items_done
+        assert result.items_failed == 0
+
+    real = {}
+    for workers in (1, 2):
+        seconds, result = run_timed(
+            REAL_SPEC, tmp_path / f"real{workers}.jsonl", workers
+        )
+        real[workers] = seconds
+        assert result.fault_coverage == 1.0
+
+    speedups = {w: drill[1] / drill[w] for w in WORKER_COUNTS}
+    lines = [
+        f"Campaign orchestration scaling — {items} drill items "
+        f"({DRILL_SPEC['synthetic_item_seconds']} s each) over "
+        f"{len(DRILL_SPEC['circuits'])} circuits, "
+        f"host cores: {os.cpu_count()}:",
+    ]
+    for workers in WORKER_COUNTS:
+        lines.append(
+            f"  {workers} worker(s): {drill[workers]:6.2f} s wall "
+            f"({speedups[workers]:4.2f}x)"
+        )
+    verdict = "PASS" if speedups[4] >= 2.0 else "FAIL"
+    lines.append(
+        f"  [{verdict}] 4 workers are {speedups[4]:.2f}x faster than 1 "
+        "(target: 2x — orchestration overhead stays small)"
+    )
+    lines.append(
+        f"  real ATPG (s27): 1 worker {real[1]:.2f} s, "
+        f"2 workers {real[2]:.2f} s "
+        f"({real[1] / real[2]:.2f}x; CPU-bound, core-count limited)"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("campaign_scaling.txt", text)
+
+    payload = {
+        "schema": "repro-bench-campaign/v1",
+        "cores": os.cpu_count(),
+        "drill": {
+            "circuits": list(DRILL_SPEC["circuits"]),
+            "items": items,
+            "item_seconds": DRILL_SPEC["synthetic_item_seconds"],
+            "wall_seconds": {str(w): drill[w] for w in WORKER_COUNTS},
+            "speedup": {str(w): speedups[w] for w in WORKER_COUNTS},
+        },
+        "real_atpg": {
+            "circuits": list(REAL_SPEC["circuits"]),
+            "wall_seconds": {str(w): real[w] for w in sorted(real)},
+            "speedup_2_workers": real[1] / real[2],
+        },
+        "speedup_workers4": speedups[4],
+    }
+    Path(__file__).parent.parent.joinpath("BENCH_campaign.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    assert speedups[4] >= 2.0, (
+        f"orchestration overhead ate the speedup: {speedups[4]:.2f}x"
+    )

@@ -15,6 +15,8 @@ system needs:
 * :mod:`repro.ga` — the simple GA and genetic state justification;
 * :mod:`repro.hybrid` — the multi-pass GA-HITEC driver and its HITEC
   baseline (the paper's Table I schedule);
+* :mod:`repro.campaign` — durable, resumable, multi-process campaign
+  orchestration over many circuits' fault lists;
 * :mod:`repro.circuits` — benchmark circuits (embedded s27, ISCAS89
   stand-ins, and the paper's four synthesised designs);
 * :mod:`repro.analysis` — coverage reports and paper-style tables.
@@ -101,6 +103,11 @@ from .circuits import (
     s27,
     synthetic_sequential,
 )
+from .campaign import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+)
 from .analysis import (
     FaultDictionary,
     TestProgram,
@@ -157,6 +164,9 @@ __all__ = [
     "render_diff",
     "validate_report",
     "TestGenStatus",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
     "am2910",
     "collapse_faults",
     "div16",

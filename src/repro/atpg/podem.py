@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..circuit.gates import CONTROLLING_VALUE, INVERSION, GateType
 from ..faults.model import Fault
@@ -50,15 +50,19 @@ class Limits:
 
     Attributes:
         max_backtracks: decision reversals before giving up.
-        deadline: absolute ``time.monotonic()`` instant to stop at, or None.
+        deadline: absolute ``clock()`` instant to stop at, or None.
+        clock: time source the deadline is measured against; injectable so
+            timeout paths can be exercised deterministically in tests and
+            campaign workers can enforce budgets against a shared clock.
     """
 
     max_backtracks: int = 1000
     deadline: Optional[float] = None
+    clock: Callable[[], float] = time.monotonic
 
     def expired(self) -> bool:
         """True when the wall-clock deadline has passed."""
-        return self.deadline is not None and time.monotonic() >= self.deadline
+        return self.deadline is not None and self.clock() >= self.deadline
 
 
 @dataclass
@@ -153,9 +157,14 @@ class PodemEngine:
             if not found:
                 return
             yield self._extract()
-            # treat the solution as a dead end to enumerate the next one
+            # treat the solution as a dead end to enumerate the next one;
+            # window pressure recorded on other branches must survive, or
+            # the caller would wrongly stop growing the frame window
             if not self._backtrack():
-                self.status = SearchStatus.EXHAUSTED
+                self.status = (
+                    SearchStatus.WINDOW if self.window_hit
+                    else SearchStatus.EXHAUSTED
+                )
                 return
 
     def run(self, limits: Limits) -> Optional[Solution]:

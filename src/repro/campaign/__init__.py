@@ -1,0 +1,51 @@
+"""Durable, resumable, multi-process ATPG campaign orchestration.
+
+A *campaign* runs the hybrid test generator over many circuits' fault
+lists as a fleet of bounded work items: each circuit's collapsed fault
+list is partitioned into shards, each shard becomes a work item with a
+deterministic seed, and items execute inline or across forked worker
+processes with per-item timeouts, heartbeats, and bounded retries.
+Every state transition lands in an append-only JSONL journal, so a
+campaign killed at any instant resumes to the same final test set and
+coverage an uninterrupted run would have produced.  The merge stage
+re-fault-simulates all accepted sequences across shards, crediting
+incidental detections and dropping redundant sequences.
+"""
+
+from .journal import JOURNAL_SCHEMA, Journal, JournalState, read_events
+from .merge import CampaignResult, CircuitMergeResult, merge_campaign
+from .queue import (
+    ItemState,
+    WorkItem,
+    WorkQueue,
+    build_items,
+    seed_for_attempt,
+    shard_faults,
+)
+from .runner import CampaignRunner
+from .spec import SPEC_SCHEMA, CampaignError, CampaignSpec, derive_seed
+from .worker import ItemOutcome, run_item, worker_main
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CircuitMergeResult",
+    "ItemOutcome",
+    "ItemState",
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalState",
+    "SPEC_SCHEMA",
+    "WorkItem",
+    "WorkQueue",
+    "build_items",
+    "derive_seed",
+    "merge_campaign",
+    "read_events",
+    "run_item",
+    "seed_for_attempt",
+    "shard_faults",
+    "worker_main",
+]

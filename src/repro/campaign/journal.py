@@ -1,0 +1,170 @@
+"""Append-only campaign journal: durability and resume in one JSONL file.
+
+Every state transition the runner makes is appended as one JSON line and
+fsynced, so the journal survives SIGKILL of the campaign at any instant.
+``repro campaign resume`` replays the file: items with a ``item_done``
+event keep their recorded results (including accepted vectors and their
+``repro-run-report/v1`` payloads); items that were merely started are
+rerun from scratch with their original seeds.  The final line of a killed
+process may be truncated — the reader tolerates exactly that, and the
+writer drops the torn (never durable) tail before appending.
+
+Event types (all carry ``ts``):
+
+``campaign``        — campaign header: schema, spec, spec hash, item count.
+``items``           — the item catalogue (ids + fault hashes), for drift
+                      detection on resume.
+``item_started``    — an attempt began (item id, attempt, worker pid).
+``heartbeat``       — a worker's liveness beacon for its running item.
+``item_done``       — attempt finished; carries the full item payload.
+``item_failed``     — attempt raised or timed out; carries the error.
+``item_interrupted``— a worker died mid-item; the item was requeued.
+``merged``          — the merge stage ran; carries the campaign summary.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .spec import CampaignError
+
+#: Identifier embedded in the journal's campaign header line.
+JOURNAL_SCHEMA = "repro-campaign-journal/v1"
+
+
+class Journal:
+    """Append-only JSONL writer with per-event fsync durability."""
+
+    def __init__(self, path: str, clock: Callable[[], float] = time.time):
+        self.path = path
+        self.clock = clock
+        self._handle: Optional[io.TextIOWrapper] = None
+
+    def _open(self) -> io.TextIOWrapper:
+        if self._handle is None:
+            # a killed writer can leave a torn final line (no trailing
+            # newline); that event was never durable, so drop it before
+            # appending — otherwise it would corrupt the middle of the file
+            if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+                with open(self.path, "r+b") as existing:
+                    data = existing.read()
+                    if not data.endswith(b"\n"):
+                        keep = data.rfind(b"\n") + 1
+                        existing.truncate(keep)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Write one event durably (flush + fsync)."""
+        handle = self._open()
+        event = dict(event)
+        event.setdefault("ts", round(self.clock(), 3))
+        handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Parse a journal, tolerating a torn final line from a killed writer."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if number == len(lines):
+                break  # torn tail from a mid-write kill: ignore
+            raise CampaignError(
+                f"{path}:{number}: corrupt journal line"
+            ) from None
+    return events
+
+
+@dataclass
+class JournalState:
+    """Campaign state reconstructed by replaying a journal.
+
+    Attributes:
+        spec_data: the spec document from the campaign header.
+        spec_hash: spec hash recorded at campaign start.
+        item_hashes: item id -> fault hash from the catalogue event.
+        done: item id -> the *first* recorded result payload.  First wins:
+            once a result is durable it is final, so a duplicate event
+            (e.g. a worker that raced a requeue) cannot change history.
+        failed: item id -> last error for permanently failed items.
+        attempts: item id -> failed attempts recorded so far.
+        started: item ids with a started attempt and no terminal event.
+        merged: the merge summary, when the campaign completed.
+    """
+
+    spec_data: Dict[str, Any] = field(default_factory=dict)
+    spec_hash: str = ""
+    item_hashes: Dict[str, str] = field(default_factory=dict)
+    done: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    failed: Dict[str, str] = field(default_factory=dict)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    started: Dict[str, int] = field(default_factory=dict)
+    merged: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def replay(cls, path: str) -> "JournalState":
+        state = cls()
+        for event in read_events(path):
+            kind = event.get("type")
+            item_id = event.get("item")
+            if kind == "campaign":
+                if event.get("schema") != JOURNAL_SCHEMA:
+                    raise CampaignError(
+                        f"journal schema {event.get('schema')!r} is not "
+                        f"{JOURNAL_SCHEMA!r}"
+                    )
+                state.spec_data = event.get("spec", {})
+                state.spec_hash = event.get("spec_hash", "")
+            elif kind == "items":
+                state.item_hashes = {
+                    entry["item"]: entry["fault_hash"]
+                    for entry in event.get("catalogue", [])
+                }
+            elif kind == "item_started":
+                state.started[item_id] = event.get("attempt", 1)
+            elif kind == "item_done":
+                state.done.setdefault(item_id, event.get("payload", {}))
+                state.started.pop(item_id, None)
+                state.failed.pop(item_id, None)
+            elif kind == "item_failed":
+                state.attempts[item_id] = event.get("attempt", 1)
+                state.failed[item_id] = event.get("error", "unknown")
+                state.started.pop(item_id, None)
+            elif kind == "item_interrupted":
+                state.started.pop(item_id, None)
+            elif kind == "merged":
+                state.merged = event.get("summary", {})
+        if not state.spec_data:
+            raise CampaignError(f"{path}: no campaign header event")
+        # permanently-failed means: failed with no later success
+        state.failed = {
+            item_id: error
+            for item_id, error in state.failed.items()
+            if item_id not in state.done
+        }
+        return state

@@ -1,0 +1,402 @@
+"""Campaign orchestration: the durable, resumable multi-process runner.
+
+:class:`CampaignRunner` drives a campaign end to end: it builds the
+deterministic work-item catalogue, executes items either inline
+(``workers=1``) or across a pool of forked worker processes, journals
+every state transition durably, and finishes with the merge stage.  The
+parent process never trusts a worker: items are dispatched one at a time
+per worker, liveness is tracked through heartbeats and ``is_alive``, a
+dead worker's in-flight item is requeued (without consuming an attempt,
+so results stay deterministic) and the worker is respawned.
+
+Crash model:
+
+* a *worker* dies (OOM-kill, SIGKILL, segfault) — the runner requeues its
+  item and respawns the worker; the campaign keeps going;
+* an item *fails* (exception) or *times out* — the attempt is journaled
+  and the item retries with a deterministically perturbed seed, up to
+  ``max_attempts``; the final attempt of a timed-out item keeps its
+  partial results;
+* the *campaign* dies (SIGKILL, power loss, Ctrl-C) — the journal holds
+  every completed item; ``resume`` replays it, reruns only unfinished
+  items with their original seeds, and produces the same final test set
+  and coverage as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from queue import Empty
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .journal import JOURNAL_SCHEMA, Journal, JournalState
+from .merge import CampaignResult, merge_campaign
+from .queue import ItemState, WorkItem, WorkQueue, build_items
+from .spec import CampaignError, CampaignSpec
+from .worker import run_item, worker_main
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class CampaignRunner:
+    """Run or resume one campaign against a durable journal.
+
+    Args:
+        spec: the campaign specification (results-affecting knobs).
+        journal_path: JSONL journal location; created on first run.
+        workers: worker processes; 1 runs items inline in this process
+            (always available, used as fallback where ``fork`` is not).
+        heartbeat_interval: worker liveness beacon period, seconds.
+        hang_timeout_s: kill a worker whose item has not beaconed for
+            this long and retry the item (counts as a failed attempt);
+            ``None`` disables hang detection.
+        clock: wall-clock source for campaign timing (injectable for
+            tests; item-level clocks stay worker-local).
+    """
+
+    #: replacement workers spawned per original worker before giving up
+    MAX_RESPAWNS_PER_WORKER = 4
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        journal_path: str,
+        workers: int = 1,
+        heartbeat_interval: float = 0.5,
+        hang_timeout_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.spec = spec
+        self.journal_path = journal_path
+        self.workers = max(1, int(workers))
+        self.heartbeat_interval = heartbeat_interval
+        self.hang_timeout_s = hang_timeout_s
+        self.clock = clock
+
+    # -- public entry points -------------------------------------------
+    def run(self, resume: bool = False) -> CampaignResult:
+        """Execute the campaign to completion (fresh or resumed)."""
+        wall0 = self.clock()
+        items = build_items(self.spec)
+        queue = WorkQueue(items, self.spec.max_attempts)
+        payloads: Dict[str, Dict[str, Any]] = {}
+        journal = Journal(self.journal_path)
+        try:
+            if resume:
+                self._restore(items, queue, payloads)
+            else:
+                if (
+                    os.path.exists(self.journal_path)
+                    and os.path.getsize(self.journal_path) > 0
+                ):
+                    raise CampaignError(
+                        f"journal {self.journal_path} already exists — "
+                        f"use `repro campaign resume` to continue it"
+                    )
+                journal.append({
+                    "type": "campaign",
+                    "schema": JOURNAL_SCHEMA,
+                    "name": self.spec.name,
+                    "spec": self.spec.to_dict(),
+                    "spec_hash": self.spec.spec_hash(),
+                    "items": len(items),
+                })
+                journal.append({
+                    "type": "items",
+                    "catalogue": [
+                        {"item": i.item_id, "faults": i.count,
+                         "fault_hash": i.fault_hash}
+                        for i in items
+                    ],
+                })
+            if self.workers == 1 or _fork_context() is None:
+                self._run_inline(queue, payloads, journal)
+            else:
+                self._run_pool(queue, payloads, journal)
+            result = merge_campaign(self.spec, payloads)
+            result.items_failed = len(queue.failed_items())
+            result.wall_time_s = self.clock() - wall0
+            if result.report is not None:
+                result.report.jobs = self.workers
+                result.report.wall_time_s = result.wall_time_s
+            journal.append({
+                "type": "merged",
+                "summary": result.summary_dict(),
+            })
+            return result
+        finally:
+            journal.close()
+
+    @classmethod
+    def resume(
+        cls, journal_path: str, workers: int = 1, **kwargs
+    ) -> CampaignResult:
+        """Resume a journaled campaign; the spec comes from the journal."""
+        state = JournalState.replay(journal_path)
+        spec = CampaignSpec.from_dict(state.spec_data)
+        runner = cls(spec, journal_path, workers=workers, **kwargs)
+        return runner.run(resume=True)
+
+    @staticmethod
+    def status(journal_path: str) -> Dict[str, Any]:
+        """Campaign progress snapshot reconstructed from the journal."""
+        state = JournalState.replay(journal_path)
+        spec = CampaignSpec.from_dict(state.spec_data)
+        total = len(state.item_hashes)
+        return {
+            "name": spec.name,
+            "spec_hash": state.spec_hash,
+            "items": total,
+            "done": len(state.done),
+            "failed": len(state.failed),
+            "in_flight": sorted(state.started),
+            "merged": state.merged,
+        }
+
+    # -- resume restoration --------------------------------------------
+    def _restore(
+        self,
+        items: List[WorkItem],
+        queue: WorkQueue,
+        payloads: Dict[str, Dict[str, Any]],
+    ) -> None:
+        state = JournalState.replay(self.journal_path)
+        if state.spec_hash != self.spec.spec_hash():
+            raise CampaignError(
+                f"journal {self.journal_path} belongs to campaign "
+                f"{state.spec_hash}, not {self.spec.spec_hash()}"
+            )
+        catalogue = {i.item_id: i.fault_hash for i in items}
+        for item_id, fault_hash in state.item_hashes.items():
+            if catalogue.get(item_id) != fault_hash:
+                raise CampaignError(
+                    f"{item_id}: fault shard drifted since the campaign "
+                    f"was planned — start a fresh campaign"
+                )
+        for item_id, payload in state.done.items():
+            queue.restore_done(item_id)
+            payloads[item_id] = payload
+        for item_id, attempts in state.attempts.items():
+            if item_id not in state.done:
+                queue.restore_attempts(item_id, attempts)
+
+    # -- shared outcome policy -----------------------------------------
+    def _settle(
+        self,
+        item_id: str,
+        attempt: int,
+        payload: Dict[str, Any],
+        queue: WorkQueue,
+        payloads: Dict[str, Dict[str, Any]],
+        journal: Journal,
+    ) -> None:
+        """Apply the done/timeout policy for one finished attempt."""
+        if queue.state_of(item_id) is ItemState.DONE:
+            return  # duplicate completion (raced a requeue): first wins
+        if payload.get("timed_out") and attempt < self.spec.max_attempts:
+            journal.append({
+                "type": "item_failed", "item": item_id,
+                "attempt": attempt, "error": "timeout",
+            })
+            queue.mark_failed(item_id, "timeout")
+            return
+        payloads[item_id] = payload
+        journal.append({
+            "type": "item_done", "item": item_id,
+            "attempt": attempt, "payload": payload,
+        })
+        queue.restore_done(item_id)
+
+    def _fail(
+        self,
+        item_id: str,
+        attempt: int,
+        error: str,
+        queue: WorkQueue,
+        journal: Journal,
+    ) -> None:
+        journal.append({
+            "type": "item_failed", "item": item_id,
+            "attempt": attempt, "error": error,
+        })
+        queue.mark_failed(item_id, error)
+
+    # -- inline execution ----------------------------------------------
+    def _run_inline(
+        self,
+        queue: WorkQueue,
+        payloads: Dict[str, Dict[str, Any]],
+        journal: Journal,
+    ) -> None:
+        while True:
+            item = queue.take()
+            if item is None:
+                break
+            attempt = queue.attempt_of(item.item_id)
+            journal.append({
+                "type": "item_started", "item": item.item_id,
+                "attempt": attempt, "pid": os.getpid(), "worker": 0,
+            })
+            try:
+                outcome = run_item(self.spec, item)
+            except CampaignError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — retry policy
+                self._fail(item.item_id, attempt,
+                           f"{type(exc).__name__}: {exc}", queue, journal)
+                continue
+            self._settle(item.item_id, attempt, outcome.to_dict(),
+                         queue, payloads, journal)
+
+    # -- pooled execution ----------------------------------------------
+    def _run_pool(
+        self,
+        queue: WorkQueue,
+        payloads: Dict[str, Dict[str, Any]],
+        journal: Journal,
+    ) -> None:
+        ctx = _fork_context()
+        assert ctx is not None
+        result_q = ctx.Queue()
+        task_qs = [ctx.Queue() for _ in range(self.workers)]
+        procs: List[multiprocessing.process.BaseProcess] = []
+
+        def spawn(wid: int) -> None:
+            proc = ctx.Process(
+                target=worker_main,
+                args=(wid, task_qs[wid], result_q, self.spec.to_dict(),
+                      self.heartbeat_interval),
+                daemon=True,
+            )
+            proc.start()
+            procs[wid] = proc
+
+        procs = [None] * self.workers  # type: ignore[list-item]
+        for wid in range(self.workers):
+            spawn(wid)
+
+        assignment: List[Optional[Tuple[WorkItem, int]]] = (
+            [None] * self.workers
+        )
+        last_beat = [self.clock()] * self.workers
+        respawns = 0
+        bad_messages = 0
+        try:
+            while True:
+                # dispatch one item per idle, live worker
+                for wid in range(self.workers):
+                    if assignment[wid] is None and procs[wid].is_alive():
+                        item = queue.take()
+                        if item is None:
+                            break
+                        attempt = queue.attempt_of(item.item_id)
+                        assignment[wid] = (item, attempt)
+                        last_beat[wid] = self.clock()
+                        task_qs[wid].put((item, attempt))
+                if queue.finished() and all(a is None for a in assignment):
+                    break
+                self._drain(result_q, assignment, last_beat, queue,
+                            payloads, journal)
+                bad_messages = 0
+                now = self.clock()
+                for wid in range(self.workers):
+                    held = assignment[wid]
+                    if procs[wid].is_alive():
+                        if (
+                            held is not None
+                            and self.hang_timeout_s is not None
+                            and now - last_beat[wid] > self.hang_timeout_s
+                        ):
+                            # hung worker: kill it, retry with a new seed
+                            procs[wid].kill()
+                            procs[wid].join(timeout=5.0)
+                            self._fail(held[0].item_id, held[1], "hung",
+                                       queue, journal)
+                            assignment[wid] = None
+                        else:
+                            continue
+                    elif held is not None:
+                        # crashed worker: requeue without burning the
+                        # attempt so the rerun reproduces the same result
+                        journal.append({
+                            "type": "item_interrupted",
+                            "item": held[0].item_id,
+                            "attempt": held[1], "worker": wid,
+                        })
+                        queue.mark_interrupted(held[0].item_id)
+                        assignment[wid] = None
+                    if queue.finished():
+                        continue  # nothing left for a replacement to do
+                    respawns += 1
+                    if respawns > self.MAX_RESPAWNS_PER_WORKER * self.workers:
+                        raise CampaignError(
+                            "workers keep dying; campaign halted "
+                            "(journal is durable — resume when fixed)"
+                        )
+                    spawn(wid)
+        except BaseException:
+            for proc in procs:
+                if proc is not None and proc.is_alive():
+                    proc.terminate()
+            raise
+        finally:
+            for wid in range(self.workers):
+                try:
+                    task_qs[wid].put(None)
+                except Exception:
+                    pass
+            for proc in procs:
+                if proc is not None:
+                    proc.join(timeout=2.0)
+                    if proc.is_alive():
+                        proc.kill()
+
+    def _drain(
+        self,
+        result_q,
+        assignment: List[Optional[Tuple[WorkItem, int]]],
+        last_beat: List[float],
+        queue: WorkQueue,
+        payloads: Dict[str, Dict[str, Any]],
+        journal: Journal,
+    ) -> None:
+        """Handle every queued worker message, blocking briefly for one."""
+        first = True
+        while True:
+            try:
+                message = result_q.get(timeout=0.1 if first else 0.0)
+            except Empty:
+                return
+            except (EOFError, OSError):
+                return  # queue torn by a killed writer; liveness recovers
+            first = False
+            kind, wid, item_id, data = message
+            last_beat[wid] = self.clock()
+            if kind == "started":
+                attempt, pid = data
+                journal.append({
+                    "type": "item_started", "item": item_id,
+                    "attempt": attempt, "pid": pid, "worker": wid,
+                })
+            elif kind == "heartbeat":
+                pass  # liveness only; not journaled (fsync traffic)
+            elif kind == "done":
+                held = assignment[wid]
+                attempt = held[1] if held else 1
+                self._settle(item_id, attempt, data, queue, payloads,
+                             journal)
+                if held is not None and held[0].item_id == item_id:
+                    assignment[wid] = None
+            elif kind == "failed":
+                held = assignment[wid]
+                attempt = held[1] if held else 1
+                if queue.state_of(item_id) is not ItemState.DONE:
+                    self._fail(item_id, attempt, data, queue, journal)
+                if held is not None and held[0].item_id == item_id:
+                    assignment[wid] = None

@@ -1,0 +1,161 @@
+"""Campaign specifications: what an ATPG campaign runs, declaratively.
+
+A :class:`CampaignSpec` names the circuits, the shared pass-schedule
+parameters, the seed, and the fault-partitioning policy of one campaign.
+Everything that affects *results* lives in the spec; everything that only
+affects *execution* (worker count, heartbeat cadence) is a runner option,
+so a campaign can be resumed under different resources and still produce
+identical output.
+
+Specs serialize to a versioned JSON document and hash canonically
+(:meth:`CampaignSpec.spec_hash`); the journal records the hash so a resume
+refuses to continue someone else's campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from ..hybrid.passes import PassConfig, gahitec_schedule, hitec_schedule
+
+#: Identifier embedded in every serialized spec.
+SPEC_SCHEMA = "repro-campaign-spec/v1"
+
+
+class CampaignError(RuntimeError):
+    """A campaign spec, journal, or resume attempt is invalid."""
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one ATPG campaign.
+
+    Attributes:
+        circuits: circuit specifiers, as the CLI resolves them (built-in
+            benchmark names or ``.bench``/``.v`` paths).
+        name: campaign label, recorded in journals and reports.
+        seed: base seed; per-item seeds derive from it deterministically.
+        shard_size: maximum collapsed faults per work item.
+        passes: number of schedule passes per item.
+        seq_len: GA sequence length ``x`` (0 = per-circuit default,
+            ``4 * sequential_depth`` clamped to at least 4).
+        time_scale: fraction of the paper's per-fault wall-clock limits;
+            ``None`` disables them, which keeps items deterministic and is
+            what campaign resume equality relies on.
+        backtracks: pass-1 PODEM backtrack budget.
+        baseline: run the deterministic HITEC baseline schedule instead of
+            GA-HITEC.
+        backend: simulation backend for every item (``None`` = default).
+        width: fault-simulation word width.
+        fault_limit: cap each circuit's collapsed fault list to its first
+            N entries (smoke tests and CI drills; ``None`` = all).
+        item_timeout_s: per-item wall-clock budget; a timed-out item is
+            retried with a perturbed seed, and its final attempt keeps the
+            partial result.
+        max_attempts: total attempts per item (crashes of the *campaign*
+            do not consume attempts — an interrupted item is simply rerun
+            with its original seed so resumes stay deterministic).
+        synthetic_item_seconds: drill mode — replace each item's ATPG run
+            with a fixed-duration synthetic workload, so orchestration
+            overhead and scaling can be measured independently of ATPG
+            cost and host core count (benchmarks and failure drills only).
+    """
+
+    circuits: Tuple[str, ...]
+    name: str = "campaign"
+    seed: int = 0
+    shard_size: int = 32
+    passes: int = 3
+    seq_len: int = 0
+    time_scale: Optional[float] = None
+    backtracks: int = 100
+    baseline: bool = False
+    backend: Optional[str] = None
+    width: int = 64
+    fault_limit: Optional[int] = None
+    item_timeout_s: Optional[float] = None
+    max_attempts: int = 3
+    synthetic_item_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.circuits:
+            raise CampaignError("campaign needs at least one circuit")
+        if self.shard_size < 1:
+            raise CampaignError("shard_size must be at least 1")
+        if self.passes < 1:
+            raise CampaignError("passes must be at least 1")
+        if self.max_attempts < 1:
+            raise CampaignError("max_attempts must be at least 1")
+        # tuple-ify so specs parsed from JSON lists hash identically
+        if not isinstance(self.circuits, tuple):
+            object.__setattr__(self, "circuits", tuple(self.circuits))
+
+    # -- schedules -----------------------------------------------------
+    def schedule_for(self, circuit: Circuit) -> List[PassConfig]:
+        """The pass schedule every work item of ``circuit`` runs."""
+        if self.baseline:
+            return hitec_schedule(
+                num_passes=self.passes,
+                time_scale=self.time_scale,
+                backtrack_base=self.backtracks,
+            )
+        x = self.seq_len or max(4, 4 * circuit.sequential_depth)
+        return gahitec_schedule(
+            x=x,
+            num_passes=self.passes,
+            time_scale=self.time_scale,
+            backtrack_base=self.backtracks,
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["circuits"] = list(self.circuits)
+        data["schema"] = SPEC_SCHEMA
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        if not isinstance(data, dict):
+            raise CampaignError("campaign spec must be a JSON object")
+        schema = data.get("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise CampaignError(
+                f"spec schema must be {SPEC_SCHEMA!r}, got {schema!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known - {"schema"}
+        if unknown:
+            raise CampaignError(
+                f"unknown spec keys: {', '.join(sorted(unknown))}"
+            )
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "circuits" in kwargs:
+            kwargs["circuits"] = tuple(kwargs["circuits"])
+        return cls(**kwargs)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def spec_hash(self) -> str:
+        """Canonical content hash; the journal's identity check."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def derive_seed(base: int, token: str) -> int:
+    """Deterministic, platform-stable seed derivation for items/attempts."""
+    return (base * 0x9E3779B1 + zlib.crc32(token.encode("utf-8"))) & 0x7FFFFFFF

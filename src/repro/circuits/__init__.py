@@ -16,6 +16,7 @@ from .crafted import (
     two_stage_pipeline,
     untestable_stem,
 )
+from .resolve import resolve_circuit
 from .synth import am2910, div16, mult16, pcont2
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "mult16",
     "pcont2",
     "redundant_and",
+    "resolve_circuit",
     "s27",
     "shift_register",
     "synthetic_sequential",

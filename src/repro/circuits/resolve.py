@@ -1,0 +1,35 @@
+"""Resolve a circuit specifier to a :class:`~repro.circuit.netlist.Circuit`.
+
+A specifier is either a file path (``.bench`` or structural ``.v``) or the
+name of a built-in benchmark: the ISCAS89 stand-ins (``s27``, ``s298`` …)
+or one of the paper's synthesised designs (``am2910``, ``div``, ``mult``,
+``pcont2``).  The CLI and the campaign subsystem share this one resolver
+so a campaign spec names circuits exactly the way the command line does.
+"""
+
+from __future__ import annotations
+
+from ..circuit.bench import load_bench
+from ..circuit.netlist import Circuit
+from ..circuit.verilog import load_verilog
+from .iscas89 import ISCAS89_SPECS, iscas89
+from .synth import am2910, div16, mult16, pcont2
+
+#: Built-in synthesised designs, by CLI name.
+SYNTH_CIRCUITS = {
+    "am2910": am2910,
+    "div": div16,
+    "mult": mult16,
+    "pcont2": pcont2,
+}
+
+
+def resolve_circuit(spec: str) -> Circuit:
+    """Load a circuit from a file path or a built-in benchmark name."""
+    if spec in SYNTH_CIRCUITS:
+        return SYNTH_CIRCUITS[spec]()
+    if spec in ISCAS89_SPECS:
+        return iscas89(spec)
+    if spec.endswith(".v"):
+        return load_verilog(spec)
+    return load_bench(spec)

@@ -8,7 +8,12 @@ Commands
 ``atpg``      — run GA-HITEC (or the HITEC baseline) and write the tests
 (alias: ``run-hybrid``); ``--telemetry`` saves a structured run report,
 ``--trace`` saves span trace events as JSONL.
-``report``    — pretty-print a saved run report, or diff two of them.
+``report``    — pretty-print a saved run report, or diff two of them;
+``--json`` emits the same information machine-readably.
+``campaign``  — durable multi-circuit campaigns: ``campaign run`` executes
+a :class:`~repro.campaign.CampaignSpec` across worker processes with a
+journal, ``campaign resume`` continues a killed campaign, and
+``campaign status`` summarises a journal.
 ``faultsim``  — grade an existing vector file against the fault list.
 ``convert``   — translate between ``.bench`` and structural Verilog.
 ``scan``      — insert a full-scan chain and write the scanned netlist.
@@ -21,40 +26,25 @@ Circuits are either ``.bench`` files or names of built-in benchmarks
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
 from .analysis.compaction import compact_test_set
 from .analysis.coverage import evaluate_test_set
 from .analysis.diagnosis import FaultDictionary
-from .circuit.bench import load_bench, save_bench
+from .campaign import CampaignRunner, CampaignSpec
+from .circuit.bench import save_bench
 from .circuit.scan import insert_scan
-from .circuit.verilog import load_verilog, save_verilog
-from .circuit.netlist import Circuit
-from .circuits import ISCAS89_SPECS, iscas89
-from .circuits.synth import am2910, div16, mult16, pcont2
+from .circuit.verilog import save_verilog
+from .circuits.resolve import resolve_circuit
 from .faults.collapse import collapse_faults
 from .hybrid.driver import gahitec, hitec_baseline
 from .hybrid.passes import gahitec_schedule, hitec_schedule
-from .telemetry import RunReport, TelemetryRecorder, render_diff
+from .telemetry import RunReport, TelemetryRecorder, diff_reports, render_diff
 
-_SYNTH = {
-    "am2910": am2910,
-    "div": div16,
-    "mult": mult16,
-    "pcont2": pcont2,
-}
-
-
-def resolve_circuit(spec: str) -> Circuit:
-    """Load a circuit from a file path or a built-in benchmark name."""
-    if spec in _SYNTH:
-        return _SYNTH[spec]()
-    if spec in ISCAS89_SPECS:
-        return iscas89(spec)
-    if spec.endswith(".v"):
-        return load_verilog(spec)
-    return load_bench(spec)
+__all__ = ["build_parser", "main", "resolve_circuit"]
 
 
 def _read_vectors(path: str, n_pi: int) -> List[List[int]]:
@@ -153,9 +143,105 @@ def cmd_report(args: argparse.Namespace) -> int:
     new = RunReport.load(args.report)
     if args.against:
         old = RunReport.load(args.against)
-        print(render_diff(new, old, only_changed=args.changed_only))
+        if args.json:
+            rows = diff_reports(new, old)
+            payload = {
+                "schema": "repro-report-diff/v1",
+                "new": {"circuit": new.circuit, "generator": new.generator},
+                "old": {"circuit": old.circuit, "generator": old.generator},
+                "fields": {
+                    name: {"new": a, "old": b, "delta": delta}
+                    for name, (a, b, delta) in rows.items()
+                    if not args.changed_only or delta
+                },
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(render_diff(new, old, only_changed=args.changed_only))
+    elif args.json:
+        print(json.dumps(new.to_dict(), indent=2, sort_keys=True))
     else:
         print(new.summary())
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec:
+        spec = CampaignSpec.load(args.spec)
+        if args.circuits:
+            raise SystemExit("give circuits inline or via --spec, not both")
+        return spec
+    if not args.circuits:
+        raise SystemExit("campaign run needs circuits or --spec FILE")
+    return CampaignSpec(
+        circuits=tuple(args.circuits),
+        name=args.name,
+        seed=args.seed,
+        shard_size=args.shard_size,
+        passes=args.passes,
+        seq_len=args.seq_len,
+        time_scale=args.time_scale,
+        backtracks=args.backtracks,
+        baseline=args.baseline,
+        backend=args.backend,
+        fault_limit=args.fault_limit,
+        item_timeout_s=args.item_timeout,
+        max_attempts=args.max_attempts,
+    )
+
+
+def _finish_campaign(result, args: argparse.Namespace) -> int:
+    print(result.summary())
+    if args.report:
+        if result.report is not None:
+            result.report.save(args.report)
+            print(f"wrote campaign report to {args.report}")
+        else:
+            print("no telemetry reports to merge; skipped --report")
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+        for name, circuit_result in sorted(result.circuits.items()):
+            base = os.path.basename(name).replace(".bench", "")
+            path = os.path.join(args.output_dir, f"{base}.vec")
+            _write_vectors(path, circuit_result.vectors)
+            print(f"wrote {len(circuit_result.vectors)} vectors to {path}")
+    return 1 if result.items_failed else 0
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    runner = CampaignRunner(
+        spec,
+        args.journal,
+        workers=args.workers,
+        hang_timeout_s=args.hang_timeout,
+    )
+    return _finish_campaign(runner.run(), args)
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    result = CampaignRunner.resume(
+        args.journal,
+        workers=args.workers,
+        hang_timeout_s=args.hang_timeout,
+    )
+    return _finish_campaign(result, args)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    status = CampaignRunner.status(args.journal)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"campaign {status['name']} [{status['spec_hash']}]: "
+          f"{status['done']}/{status['items']} items done, "
+          f"{status['failed']} failed")
+    for item_id in status["in_flight"]:
+        print(f"  in flight: {item_id}")
+    if status["merged"]:
+        merged = status["merged"]
+        print(f"  merged: coverage {100.0 * merged['fault_coverage']:.1f}%  "
+              f"vectors {merged['vectors']}")
     return 0
 
 
@@ -276,7 +362,65 @@ def build_parser() -> argparse.ArgumentParser:
                    help="older report to diff against")
     p.add_argument("--changed-only", action="store_true",
                    help="only show fields whose values differ")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of text")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "campaign", help="durable, resumable multi-circuit campaigns"
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_runner_options(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--journal", required=True,
+                        help="JSONL journal path (durable campaign state)")
+        cp.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = inline, no fork)")
+        cp.add_argument("--hang-timeout", type=float, default=None,
+                        help="kill workers silent for this many seconds")
+        cp.add_argument("--report", metavar="PATH",
+                        help="write the merged run report (JSON) to PATH")
+        cp.add_argument("--output-dir", metavar="DIR",
+                        help="write per-circuit vector files into DIR")
+
+    cp = campaign_sub.add_parser("run", help="start a fresh campaign")
+    cp.add_argument("circuits", nargs="*",
+                    help="circuits (.bench files or built-in names)")
+    cp.add_argument("--spec", metavar="PATH",
+                    help="load the campaign spec from a JSON file instead")
+    cp.add_argument("--name", default="campaign")
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("--shard-size", type=int, default=32,
+                    help="max faults per work item")
+    cp.add_argument("--passes", type=int, default=3)
+    cp.add_argument("--seq-len", type=int, default=0,
+                    help="GA sequence length x (default: 4 x seq. depth)")
+    cp.add_argument("--time-scale", type=float, default=None,
+                    help="fraction of the paper's per-fault time limits "
+                         "(default none: fully deterministic items)")
+    cp.add_argument("--backtracks", type=int, default=100)
+    cp.add_argument("--baseline", action="store_true",
+                    help="run the HITEC baseline instead of GA-HITEC")
+    cp.add_argument("--backend", choices=["event", "codegen"], default=None)
+    cp.add_argument("--fault-limit", type=int, default=None,
+                    help="cap each circuit's fault list (smoke tests)")
+    cp.add_argument("--item-timeout", type=float, default=None,
+                    help="per-item wall-clock budget in seconds")
+    cp.add_argument("--max-attempts", type=int, default=3,
+                    help="attempts per item before it is marked failed")
+    _campaign_runner_options(cp)
+    cp.set_defaults(func=cmd_campaign_run)
+
+    cp = campaign_sub.add_parser(
+        "resume", help="continue a journaled campaign after a crash"
+    )
+    _campaign_runner_options(cp)
+    cp.set_defaults(func=cmd_campaign_resume)
+
+    cp = campaign_sub.add_parser("status", help="summarise a journal")
+    cp.add_argument("--journal", required=True)
+    cp.add_argument("--json", action="store_true")
+    cp.set_defaults(func=cmd_campaign_status)
 
     p = sub.add_parser("faultsim", help="grade a vector file")
     p.add_argument("circuit")

@@ -84,6 +84,10 @@ class HybridTestGenerator:
             in-process).
         telemetry: metrics/trace recorder shared by every component the
             driver builds; defaults to the shared no-op recorder.
+        clock: wall-clock source for every deadline and duration the
+            driver measures (defaults to :func:`time.monotonic`).
+            Injectable so timeout/retry paths are deterministic under test
+            and campaign workers can enforce budgets against a fake clock.
     """
 
     def __init__(
@@ -100,12 +104,14 @@ class HybridTestGenerator:
         backend: Optional[str] = None,
         jobs: int = 1,
         telemetry: Optional[Recorder] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.circuit = circuit
         self.cc = compile_circuit(circuit)
         self.seed = seed
         self.rng = random.Random(seed)
         self.width = width
+        self.clock = clock or time.monotonic
         self.telemetry = telemetry or NULL_RECORDER
         if max_frames is None:
             max_frames = min(16, max(4, 2 * circuit.sequential_depth + 2))
@@ -154,6 +160,9 @@ class HybridTestGenerator:
         self.good_state: List[int] = [X] * len(self.cc.ff_out)
         self.fault_states: Dict[Fault, List[int]] = {}
         self._records: Dict[Fault, FaultRecord] = {}
+        self._deadline: Optional[float] = None
+        #: set when :meth:`run` stopped early because its deadline passed
+        self.deadline_expired: bool = False
         #: faults proven untestable by :meth:`prefilter_untestable`
         self.prefiltered_untestable: List[Fault] = []
 
@@ -176,12 +185,14 @@ class HybridTestGenerator:
 
             return JustifyResult(JustifyStatus.BOUNDED)
 
-        deadline = time.monotonic() + time_limit if time_limit else None
+        deadline = self.clock() + time_limit if time_limit else None
         proven: List[Fault] = []
         kept: List[Fault] = []
         with self.telemetry.span("hybrid.prefilter"):
             for fault in self.all_faults:
-                limits = Limits(max_backtracks=max_backtracks, deadline=deadline)
+                limits = Limits(
+                    max_backtracks=max_backtracks, deadline=deadline, clock=self.clock
+                )
                 res = self.seqgen.generate(fault, refuse, limits)
                 if res.status is TestGenStatus.UNTESTABLE:
                     proven.append(fault)
@@ -193,14 +204,29 @@ class HybridTestGenerator:
         return proven
 
     # ------------------------------------------------------------------
-    def run(self, schedule: Sequence[PassConfig]) -> RunResult:
-        """Execute the whole schedule; return statistics and a run report."""
+    def run(
+        self,
+        schedule: Sequence[PassConfig],
+        deadline: Optional[float] = None,
+    ) -> RunResult:
+        """Execute the whole schedule; return statistics and a run report.
+
+        Args:
+            schedule: pass configurations to execute in order.
+            deadline: absolute ``clock()`` instant after which no further
+                fault is targeted — the run stops between faults, keeps
+                everything committed so far, and flags the result with
+                ``deadline_expired``.  Campaign workers use this to bound
+                each work item's wall-clock cost.
+        """
         tel = self.telemetry
         result = RunResult(
             circuit_name=self.circuit.name,
             generator=self.generator_name,
             total_faults=len(self.all_faults),
         )
+        self._deadline = deadline
+        self.deadline_expired = False
         self.remaining = list(self.all_faults)
         self.detected = {}
         self.untestable = []
@@ -221,10 +247,10 @@ class HybridTestGenerator:
         )
         compiles0 = codegen.COMPILE_STATS["kernels"]
         compile_s0 = codegen.COMPILE_STATS["seconds"]
-        wall0 = time.monotonic()
+        wall0 = self.clock()
         cpu0 = time.process_time()
         for cfg in schedule:
-            pass_start = time.monotonic()
+            pass_start = self.clock()
             untestable_before = len(self.untestable)
             with tel.span(
                 "hybrid.pass", number=cfg.number, approach=cfg.justification
@@ -233,7 +259,7 @@ class HybridTestGenerator:
             stats.detected = len(self.detected)
             stats.vectors = len(self.test_set)
             stats.untestable = len(self.untestable)
-            stats.time_s = time.monotonic() - wall0
+            stats.time_s = self.clock() - wall0
             result.passes.append(stats)
             report.passes.append(
                 PassReport(
@@ -246,11 +272,13 @@ class HybridTestGenerator:
                     ga_justified=stats.ga_justified,
                     det_justified=stats.det_justified,
                     validation_failures=stats.validation_failures,
-                    time_s=time.monotonic() - pass_start,
+                    time_s=self.clock() - pass_start,
                 )
             )
+            if self.deadline_expired:
+                break
 
-        report.wall_time_s = time.monotonic() - wall0
+        report.wall_time_s = self.clock() - wall0
         report.cpu_time_s = time.process_time() - cpu0
         report.kernel_compiles = int(codegen.COMPILE_STATS["kernels"] - compiles0)
         report.kernel_compile_s = codegen.COMPILE_STATS["seconds"] - compile_s0
@@ -259,6 +287,7 @@ class HybridTestGenerator:
         result.detected = dict(self.detected)
         result.untestable = list(self.untestable)
         result.blocks = list(self.blocks)
+        result.deadline_expired = self.deadline_expired
         self._finalize_report(report)
         result.report = report
         return result
@@ -302,6 +331,9 @@ class HybridTestGenerator:
         for fault in list(self.remaining):
             if fault in self.detected:
                 continue  # dropped incidentally earlier in this pass
+            if self._deadline is not None and self.clock() >= self._deadline:
+                self.deadline_expired = True
+                break
             stats.targeted += 1
             self._target_fault(fault, cfg, stats)
         stats.detected_new = len(self.detected) - before
@@ -321,14 +353,20 @@ class HybridTestGenerator:
         record.targeted += 1
         record.pass_number = cfg.number
         ga_generations0 = tel.value("ga.generations")
-        started = time.perf_counter()
+        started = self.clock()
 
         deadline = (
-            time.monotonic() + cfg.time_limit
+            self.clock() + cfg.time_limit
             if cfg.time_limit is not None
             else None
         )
-        limits = Limits(max_backtracks=cfg.max_backtracks, deadline=deadline)
+        if self._deadline is not None:
+            deadline = (
+                self._deadline if deadline is None else min(deadline, self._deadline)
+            )
+        limits = Limits(
+            max_backtracks=cfg.max_backtracks, deadline=deadline, clock=self.clock
+        )
         justifier = self._make_justifier(fault, cfg, limits)
         result = self.seqgen.generate(
             fault,
@@ -363,7 +401,7 @@ class HybridTestGenerator:
             self.remaining.remove(fault)
         else:
             stats.aborted += 1
-        record.time_s += time.perf_counter() - started
+        record.time_s += self.clock() - started
 
     # ------------------------------------------------------------------
     def _make_justifier(

@@ -77,6 +77,9 @@ class RunResult:
         flow: aggregated Figure-1 flow counters.
         report: structured telemetry report for the campaign (per-pass and
             per-fault detail, metrics snapshot, total wall/CPU time).
+        deadline_expired: the run stopped early because the driver's
+            wall-clock deadline passed (campaign per-item timeouts);
+            committed tests and detections up to that point are kept.
     """
 
     circuit_name: str
@@ -89,6 +92,7 @@ class RunResult:
     blocks: List[int] = field(default_factory=list)
     flow: FlowCounters = field(default_factory=FlowCounters)
     report: Optional[RunReport] = None
+    deadline_expired: bool = False
 
     @property
     def fault_coverage(self) -> float:

@@ -50,6 +50,26 @@ Vector = Sequence[int]
 
 
 @dataclass
+class BlockGradeResult:
+    """Outcome of grading an ordered series of test-sequence blocks.
+
+    Attributes:
+        kept: indices of blocks that detected at least one new fault (all
+            blocks when redundant dropping is off).
+        dropped: indices of blocks that added no new detection.
+        detected: fault -> index of the block that first detected it.
+        per_block_new: newly detected fault count per block, in order.
+        good_state: fault-free flip-flop state after the kept blocks.
+    """
+
+    kept: List[int] = field(default_factory=list)
+    dropped: List[int] = field(default_factory=list)
+    detected: Dict[Fault, int] = field(default_factory=dict)
+    per_block_new: List[int] = field(default_factory=list)
+    good_state: List[int] = field(default_factory=list)
+
+
+@dataclass
 class FaultSimResult:
     """Outcome of fault-simulating one sequence.
 
@@ -232,6 +252,72 @@ class FaultSimulator:
                 for batch in batches:
                     self._run_batch(frames, batch, fault_states, result,
                                     stop_on_all_detected, record_signatures)
+        return result
+
+    # ------------------------------------------------------------------
+    def grade_blocks(
+        self,
+        blocks: Sequence[Sequence[Vector]],
+        faults: Sequence[Fault],
+        drop_redundant: bool = True,
+        jobs: Optional[int] = None,
+    ) -> BlockGradeResult:
+        """Grade an ordered series of test-sequence blocks incrementally.
+
+        Each block is applied from the good/faulty circuit states reached
+        after the previously *kept* blocks — the same incremental regime
+        the driver runs during validation, reused here so a campaign's
+        merge stage can re-grade many shards' tests against the full fault
+        list without replaying the cumulative set per block.  A block that
+        detects no still-undetected fault is dropped (when
+        ``drop_redundant``): its state changes are discarded, exactly as
+        if it had never been applied.
+
+        Args:
+            blocks: test sequences in application order (each a list of
+                vectors; campaign merge passes one accepted sequence per
+                block).
+            faults: the full fault list to grade against — typically a
+                whole circuit's collapsed universe, so detections are
+                credited across the shards that produced the blocks.
+            drop_redundant: drop blocks that add no new detection.
+            jobs: worker-process override passed through to :meth:`run`.
+        """
+        result = BlockGradeResult()
+        remaining: List[Fault] = list(faults)
+        good_state: Optional[List[int]] = None
+        fault_states: Dict[Fault, List[int]] = {}
+        with self.telemetry.span("sim.grade_blocks"):
+            for index, block in enumerate(blocks):
+                if not block or (drop_redundant and not remaining):
+                    result.dropped.append(index)
+                    result.per_block_new.append(0)
+                    continue
+                trial = {f: list(s) for f, s in fault_states.items()}
+                sim = self.run(
+                    block,
+                    remaining,
+                    good_state=good_state,
+                    fault_states=trial,
+                    jobs=jobs,
+                )
+                new = sim.detected
+                if new or not drop_redundant:
+                    result.kept.append(index)
+                    good_state = sim.good_state
+                    fault_states = {
+                        f: s for f, s in trial.items() if f not in new
+                    }
+                    fault_states.update(sim.fault_states)
+                    for fault in new:
+                        result.detected[fault] = index
+                    remaining = [f for f in remaining if f not in new]
+                else:
+                    result.dropped.append(index)
+                result.per_block_new.append(len(new))
+        result.good_state = list(good_state) if good_state else []
+        self.telemetry.count("sim.blocks_graded", len(blocks))
+        self.telemetry.count("sim.blocks_dropped", len(result.dropped))
         return result
 
     # ------------------------------------------------------------------

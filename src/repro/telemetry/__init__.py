@@ -25,6 +25,7 @@ from .report import (
     RunReport,
     SCHEMA,
     diff_reports,
+    merge_run_reports,
     render_diff,
     validate_report,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "TelemetryRecorder",
     "diff_reports",
     "make_recorder",
+    "merge_run_reports",
     "render_diff",
     "validate_report",
 ]

@@ -240,6 +240,85 @@ def validate_report(data: Any) -> List[str]:
     return problems
 
 
+def _uniform(values: List[Any]) -> Any:
+    """The single common value, or ``None`` when reports disagree."""
+    distinct = set(values)
+    return values[0] if len(distinct) == 1 else None
+
+
+def merge_run_reports(
+    reports: List[RunReport],
+    circuit: str = "campaign",
+    generator: Optional[str] = None,
+    prefix_faults: bool = True,
+) -> RunReport:
+    """Roll many per-item run reports into one campaign-level report.
+
+    Totals, per-pass statistics (aggregated by pass number and approach),
+    fault dispositions, and metrics counters are summed across the input
+    reports; wall/CPU time sum to the campaign's aggregate compute cost
+    (the orchestrator's elapsed wall clock is a different number, which a
+    campaign runner sets on the merged report afterwards).  Fault names
+    are prefixed with their source circuit when ``prefix_faults`` so
+    same-named faults from different circuits stay distinguishable.
+
+    Detection totals here are the per-item sums; a campaign merge stage
+    that re-grades tests across shards overwrites ``detected``,
+    ``vectors``, and ``fault_coverage`` with the cross-credited truth.
+    """
+    if not reports:
+        raise ValueError("cannot merge zero reports")
+    merged = RunReport(
+        circuit=circuit,
+        generator=generator or _uniform([r.generator for r in reports]) or "campaign",
+        total_faults=sum(r.total_faults for r in reports),
+        seed=_uniform([r.seed for r in reports]),
+        backend=_uniform([r.backend for r in reports]),
+        jobs=max(r.jobs for r in reports),
+        width=_uniform([r.width for r in reports]) or reports[0].width,
+        detected=sum(r.detected for r in reports),
+        untestable=sum(r.untestable for r in reports),
+        vectors=sum(r.vectors for r in reports),
+        wall_time_s=sum(r.wall_time_s for r in reports),
+        cpu_time_s=sum(r.cpu_time_s for r in reports),
+        kernel_compiles=sum(r.kernel_compiles for r in reports),
+        kernel_compile_s=sum(r.kernel_compile_s for r in reports),
+    )
+    merged.fault_coverage = (
+        merged.detected / merged.total_faults if merged.total_faults else 0.0
+    )
+    by_pass: Dict[Tuple[int, str], PassReport] = {}
+    for report in reports:
+        for p in report.passes:
+            agg = by_pass.get((p.number, p.approach))
+            if agg is None:
+                agg = by_pass[(p.number, p.approach)] = PassReport(
+                    number=p.number, approach=p.approach
+                )
+            agg.targeted += p.targeted
+            agg.detected_new += p.detected_new
+            agg.untestable_new += p.untestable_new
+            agg.aborted += p.aborted
+            agg.ga_justified += p.ga_justified
+            agg.det_justified += p.det_justified
+            agg.validation_failures += p.validation_failures
+            agg.time_s += p.time_s
+    merged.passes = [by_pass[key] for key in sorted(by_pass)]
+    for report in reports:
+        for record in report.faults:
+            copy = FaultRecord(**asdict(record))
+            if prefix_faults:
+                copy.fault = f"{report.circuit}:{record.fault}"
+            merged.faults.append(copy)
+    counters: Dict[str, float] = {}
+    for report in reports:
+        for name, value in report.metrics.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+    if counters:
+        merged.metrics = {"counters": counters}
+    return merged
+
+
 #: Scalar fields compared by :func:`diff_reports`.
 _DIFF_FIELDS = (
     "total_faults",

@@ -1,0 +1,117 @@
+"""End-to-end crash drill: SIGKILL a live campaign, resume, compare.
+
+This is the subsystem's headline guarantee — a campaign killed at an
+arbitrary instant (workers included) resumes from its journal and ends
+with exactly the vectors, detections, and coverage of an uninterrupted
+run.  The campaign process runs the real CLI in its own process group so
+the kill takes out the workers too, just like an OOM killer or a lost
+machine would.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, read_events
+
+SPEC = dict(
+    circuits=("s27", "s298"),
+    name="crash-drill",
+    seed=11,
+    shard_size=6,
+    passes=1,
+    fault_limit=12,
+)
+
+
+def wait_for(predicate, timeout_s=60.0, poll_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return False
+
+
+def journal_types(path):
+    if not os.path.exists(path):
+        return []
+    return [e.get("type") for e in read_events(path)]
+
+
+class TestCrashRecovery:
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        """The uninterrupted campaign every drill must reproduce."""
+        journal = str(tmp_path_factory.mktemp("ref") / "ref.jsonl")
+        return CampaignRunner(CampaignSpec(**SPEC), journal).run()
+
+    def test_sigkill_mid_campaign_then_resume_matches(
+        self, reference, tmp_path
+    ):
+        spec_path = str(tmp_path / "spec.json")
+        CampaignSpec(**SPEC).save(spec_path)
+        journal = str(tmp_path / "crash.jsonl")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+             env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", "run",
+             "--spec", spec_path, "--journal", journal, "--workers", "2"],
+            env=env,
+            start_new_session=True,  # own process group: the kill is total
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # let it finish some items and be mid-flight on others
+            assert wait_for(
+                lambda: journal_types(journal).count("item_done") >= 1
+            ), "campaign never completed an item"
+            assert proc.poll() is None, "campaign finished before the kill"
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=30)
+
+        kinds = journal_types(journal)
+        assert "merged" not in kinds, "kill landed after completion"
+
+        resumed = CampaignRunner.resume(journal, workers=1)
+        for circuit in SPEC["circuits"]:
+            assert (resumed.circuits[circuit].vectors
+                    == reference.circuits[circuit].vectors), circuit
+            assert (resumed.circuits[circuit].detected
+                    == reference.circuits[circuit].detected), circuit
+        assert resumed.fault_coverage == reference.fault_coverage
+        assert resumed.items_failed == 0
+        assert "merged" in journal_types(journal)
+
+    def test_resume_after_graceful_interrupt_matches(
+        self, reference, tmp_path
+    ):
+        """A partial journal (as after Ctrl-C) resumes to the same result."""
+        journal = str(tmp_path / "partial.jsonl")
+        full = str(tmp_path / "full.jsonl")
+        CampaignRunner(CampaignSpec(**SPEC), full).run()
+        events = read_events(full)
+        with open(journal, "w") as handle:
+            for event in events:
+                if event["type"] in ("campaign", "items"):
+                    handle.write(json.dumps(event) + "\n")
+            for event in [e for e in events if e["type"] == "item_done"][:3]:
+                handle.write(json.dumps(event) + "\n")
+        resumed = CampaignRunner.resume(journal)
+        assert resumed.fault_coverage == reference.fault_coverage
+        for circuit in SPEC["circuits"]:
+            assert (resumed.circuits[circuit].vectors
+                    == reference.circuits[circuit].vectors)

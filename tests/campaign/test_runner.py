@@ -1,0 +1,164 @@
+"""CampaignRunner: inline and pooled execution, journaling, resume."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignRunner,
+    CampaignSpec,
+    read_events,
+)
+
+
+def spec(**overrides):
+    base = dict(circuits=("s27",), name="r", seed=3, shard_size=8, passes=2)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def run_campaign(tmp_path, s=None, name="j.jsonl", **runner_kwargs):
+    journal = str(tmp_path / name)
+    runner = CampaignRunner(s or spec(), journal, **runner_kwargs)
+    return runner.run(), journal
+
+
+class TestInlineRun:
+    def test_completes_with_full_coverage(self, tmp_path):
+        result, _ = run_campaign(tmp_path)
+        assert result.items_failed == 0
+        assert result.fault_coverage == 1.0
+        assert result.circuits["s27"].vectors
+
+    def test_journal_records_every_transition(self, tmp_path):
+        result, journal = run_campaign(tmp_path)
+        kinds = [e["type"] for e in read_events(journal)]
+        assert kinds[0] == "campaign" and kinds[1] == "items"
+        assert kinds[-1] == "merged"
+        assert kinds.count("item_done") == result.items_done
+        assert kinds.count("item_started") >= result.items_done
+
+    def test_refuses_to_clobber_existing_journal(self, tmp_path):
+        _, journal = run_campaign(tmp_path)
+        with pytest.raises(CampaignError, match="resume"):
+            CampaignRunner(spec(), journal).run()
+
+    def test_report_carries_worker_count(self, tmp_path):
+        result, _ = run_campaign(tmp_path)
+        assert result.report.jobs == 1
+        assert result.report.wall_time_s == result.wall_time_s
+
+
+class TestTimeoutPolicy:
+    def test_timeouts_retry_then_keep_final_partial(self, tmp_path):
+        s = spec(item_timeout_s=1e-9, max_attempts=2, fault_limit=8)
+        result, journal = run_campaign(tmp_path, s)
+        events = read_events(journal)
+        failed = [e for e in events if e["type"] == "item_failed"]
+        done = [e for e in events if e["type"] == "item_done"]
+        assert failed and all(e["error"] == "timeout" for e in failed)
+        assert len(done) == 1  # final attempt keeps the partial result
+        assert done[0]["attempt"] == 2
+        assert result.items_failed == 0
+
+
+class TestPooledRun:
+    def test_matches_inline_results(self, tmp_path):
+        inline, _ = run_campaign(tmp_path, name="inline.jsonl", workers=1)
+        pooled, _ = run_campaign(tmp_path, name="pool.jsonl", workers=2)
+        assert pooled.circuits["s27"].vectors == inline.circuits["s27"].vectors
+        assert (pooled.circuits["s27"].detected
+                == inline.circuits["s27"].detected)
+
+    def test_hung_workers_are_killed_and_items_failed(self, tmp_path):
+        s = spec(synthetic_item_seconds=2.0, fault_limit=2, shard_size=1,
+                 max_attempts=1)
+        journal = str(tmp_path / "hang.jsonl")
+        runner = CampaignRunner(s, journal, workers=2,
+                                heartbeat_interval=30.0, hang_timeout_s=0.2)
+        result = runner.run()
+        assert result.items_failed == 2
+        errors = {e["error"] for e in read_events(journal)
+                  if e["type"] == "item_failed"}
+        assert errors == {"hung"}
+
+
+class TestResume:
+    def test_resume_equals_uninterrupted_run(self, tmp_path):
+        reference, ref_journal = run_campaign(tmp_path, name="ref.jsonl")
+        events = read_events(ref_journal)
+        # keep the header, the catalogue, and only the first finished item
+        prefix = [e for e in events if e["type"] in ("campaign", "items")]
+        prefix += [e for e in events if e["type"] == "item_done"][:1]
+        partial = tmp_path / "partial.jsonl"
+        with open(partial, "w") as handle:
+            for event in prefix:
+                handle.write(json.dumps(event) + "\n")
+            handle.write('{"type": "item_started", "item": "s27/001"')
+        resumed = CampaignRunner.resume(str(partial))
+        assert (resumed.circuits["s27"].vectors
+                == reference.circuits["s27"].vectors)
+        assert (resumed.circuits["s27"].detected
+                == reference.circuits["s27"].detected)
+        assert resumed.fault_coverage == reference.fault_coverage
+
+    def test_resume_reruns_only_missing_items(self, tmp_path):
+        _, ref_journal = run_campaign(tmp_path, name="ref.jsonl")
+        events = read_events(ref_journal)
+        prefix = [e for e in events if e["type"] in ("campaign", "items")]
+        done = [e for e in events if e["type"] == "item_done"]
+        prefix += done[:2]
+        partial = tmp_path / "partial.jsonl"
+        with open(partial, "w") as handle:
+            for event in prefix:
+                handle.write(json.dumps(event) + "\n")
+        CampaignRunner.resume(str(partial))
+        reruns = [e for e in read_events(str(partial))
+                  if e["type"] == "item_started"]
+        rerun_items = {e["item"] for e in reruns}
+        assert rerun_items == {"s27/002", "s27/003"}
+
+    def test_resume_rejects_spec_mismatch(self, tmp_path):
+        _, journal = run_campaign(tmp_path)
+        other = spec(seed=99)
+        with pytest.raises(CampaignError, match="belongs to"):
+            CampaignRunner(other, journal).run(resume=True)
+
+    def test_resume_rejects_fault_drift(self, tmp_path):
+        _, journal = run_campaign(tmp_path)
+        events = read_events(journal)
+        tampered = tmp_path / "tampered.jsonl"
+        with open(tampered, "w") as handle:
+            for event in events:
+                if event["type"] == "items":
+                    event["catalogue"][0]["fault_hash"] = "0" * 12
+                if event["type"] in ("campaign", "items"):
+                    handle.write(json.dumps(event) + "\n")
+        with pytest.raises(CampaignError, match="drifted"):
+            CampaignRunner.resume(str(tampered))
+
+
+class TestStatus:
+    def test_status_of_finished_campaign(self, tmp_path):
+        result, journal = run_campaign(tmp_path)
+        status = CampaignRunner.status(journal)
+        assert status["done"] == result.items_done
+        assert status["failed"] == 0
+        assert status["merged"]["fault_coverage"] == 1.0
+
+    def test_status_of_partial_journal(self, tmp_path):
+        _, journal = run_campaign(tmp_path)
+        events = read_events(journal)
+        partial = tmp_path / "partial.jsonl"
+        with open(partial, "w") as handle:
+            for event in events:
+                if event["type"] in ("campaign", "items"):
+                    handle.write(json.dumps(event) + "\n")
+            handle.write(json.dumps(
+                {"type": "item_started", "item": "s27/000", "attempt": 1}
+            ) + "\n")
+        status = CampaignRunner.status(str(partial))
+        assert status["done"] == 0
+        assert status["in_flight"] == ["s27/000"]
+        assert status["merged"] is None

@@ -1,0 +1,94 @@
+"""CampaignSpec serialization, hashing, and validation."""
+
+import pytest
+
+from repro.campaign import CampaignError, CampaignSpec, derive_seed
+
+
+def spec(**overrides):
+    base = dict(circuits=("s27",), name="t", seed=7)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestValidation:
+    def test_needs_circuits(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(circuits=())
+
+    def test_shard_size_positive(self):
+        with pytest.raises(CampaignError):
+            spec(shard_size=0)
+
+    def test_passes_positive(self):
+        with pytest.raises(CampaignError):
+            spec(passes=0)
+
+    def test_max_attempts_positive(self):
+        with pytest.raises(CampaignError):
+            spec(max_attempts=0)
+
+    def test_list_circuits_become_tuple(self):
+        assert spec(circuits=["s27", "s298"]).circuits == ("s27", "s298")
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        original = spec(fault_limit=10, item_timeout_s=1.5)
+        assert CampaignSpec.from_dict(original.to_dict()) == original
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "spec.json")
+        original = spec()
+        original.save(path)
+        assert CampaignSpec.load(path) == original
+
+    def test_rejects_unknown_keys(self):
+        data = spec().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(CampaignError, match="bogus"):
+            CampaignSpec.from_dict(data)
+
+    def test_rejects_wrong_schema(self):
+        data = spec().to_dict()
+        data["schema"] = "other/v9"
+        with pytest.raises(CampaignError, match="schema"):
+            CampaignSpec.from_dict(data)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict([1, 2])
+
+
+class TestHash:
+    def test_stable_across_json_roundtrip(self):
+        original = spec()
+        parsed = CampaignSpec.from_dict(original.to_dict())
+        assert parsed.spec_hash() == original.spec_hash()
+
+    def test_changes_with_result_affecting_fields(self):
+        assert spec(seed=1).spec_hash() != spec(seed=2).spec_hash()
+        assert spec(shard_size=8).spec_hash() != spec(shard_size=9).spec_hash()
+
+
+class TestSchedule:
+    def test_gahitec_schedule_length(self, s27_circuit):
+        assert len(spec(passes=2).schedule_for(s27_circuit)) == 2
+
+    def test_baseline_schedule(self, s27_circuit):
+        schedule = spec(baseline=True).schedule_for(s27_circuit)
+        assert all(p.justification == "deterministic" for p in schedule)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, "a/000") == derive_seed(3, "a/000")
+
+    def test_varies_with_token_and_base(self):
+        assert derive_seed(3, "a/000") != derive_seed(3, "a/001")
+        assert derive_seed(3, "a/000") != derive_seed(4, "a/000")
+
+    def test_non_negative_31_bit(self):
+        for base in (0, 1, 2**40, -5):
+            value = derive_seed(base, "x")
+            assert 0 <= value < 2**31

@@ -120,5 +120,16 @@ class TestGlobalProperties:
             by_class.setdefault(classes[fault], set()).add(
                 fault in result.detected
             )
+        # Classes merged across a DFF boundary are exempt: flop
+        # input≡output collapse is exact only once the fault effect has
+        # latched, so under the unknown initial state the flop-output
+        # fault can be observed one frame before the flop-input fault.
+        dff_reps = set()
+        for gate in circuit.gates.values():
+            if gate.gtype is GateType.DFF:
+                for stuck in (0, 1):
+                    dff_reps.add(classes[Fault(gate.output, stuck)])
         for rep, outcomes in by_class.items():
+            if rep in dff_reps:
+                continue
             assert len(outcomes) == 1, f"class of {rep} split: {outcomes}"

@@ -1,0 +1,87 @@
+"""Seed determinism and injectable-clock behaviour of the driver.
+
+The campaign subsystem's resume guarantee rests on these invariants:
+identical seeds (with no wall-clock-dependent pass limits) must produce
+byte-identical fault dispositions and test vectors, and all wall-clock
+reads must go through the injectable clock so tests and workers control
+time.
+"""
+
+import json
+
+from repro.atpg.podem import Limits
+from repro.circuits import s27
+from repro.hybrid.driver import gahitec
+from repro.hybrid.passes import gahitec_schedule
+
+
+def run_once(seed, clock=None):
+    driver = gahitec(s27(), seed=seed, clock=clock)
+    result = driver.run(gahitec_schedule(x=8, num_passes=2, time_scale=None))
+    return result
+
+
+def disposition_bytes(result):
+    """Canonical byte encoding of every fault's final disposition."""
+    records = [
+        {
+            "fault": r.fault,
+            "status": r.status,
+            "pass": r.pass_number,
+            "justification": r.justification,
+            "incidental": r.incidental,
+        }
+        for r in result.report.faults
+    ]
+    return json.dumps(records, sort_keys=True).encode()
+
+
+class TestSeedDeterminism:
+    def test_identical_seeds_identical_dispositions_and_vectors(self):
+        a = run_once(seed=7)
+        b = run_once(seed=7)
+        assert disposition_bytes(a) == disposition_bytes(b)
+        assert a.test_set == b.test_set
+        assert a.blocks == b.blocks
+        assert sorted(map(str, a.untestable)) == sorted(map(str, b.untestable))
+
+    def test_fake_clock_zeroes_every_duration(self):
+        result = run_once(seed=7, clock=lambda: 0.0)
+        assert result.report.wall_time_s == 0.0
+        assert all(p.time_s == 0.0 for p in result.report.passes)
+
+    def test_fake_clock_runs_match_real_clock_runs(self):
+        fake = run_once(seed=7, clock=lambda: 0.0)
+        real = run_once(seed=7)
+        assert disposition_bytes(fake) == disposition_bytes(real)
+        assert fake.test_set == real.test_set
+
+
+class TestDeadline:
+    def test_expired_deadline_stops_before_any_fault(self):
+        driver = gahitec(s27(), seed=1, clock=lambda: 100.0)
+        schedule = gahitec_schedule(x=8, num_passes=1, time_scale=None)
+        result = driver.run(schedule, deadline=50.0)
+        assert result.deadline_expired
+        assert result.test_set == []
+
+    def test_future_deadline_does_not_interfere(self):
+        driver = gahitec(s27(), seed=1, clock=lambda: 0.0)
+        schedule = gahitec_schedule(x=8, num_passes=1, time_scale=None)
+        result = driver.run(schedule, deadline=1e9)
+        assert not result.deadline_expired
+        reference = run_once(seed=1)
+        assert result.test_set == reference.test_set[: len(result.test_set)]
+
+
+class TestLimitsClock:
+    def test_limits_use_injected_clock(self):
+        ticks = iter([0.0, 10.0])
+        limits = Limits(max_backtracks=5, deadline=5.0,
+                        clock=lambda: next(ticks))
+        assert not limits.expired()
+        assert limits.expired()
+
+    def test_no_deadline_never_expires(self):
+        limits = Limits(max_backtracks=5)
+        assert not limits.expired()

@@ -24,8 +24,11 @@ from repro.atpg.hitec import SequentialTestGenerator
 from repro.atpg.hitec import TestGenStatus as GenStatus
 from repro.atpg.justify import justify_state
 from repro.atpg.podem import Limits
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
 from repro.circuits import s27
 from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
 from repro.simulation.compiled import compile_circuit
 from repro.simulation.encoding import X, pack_const, unpack
 from repro.simulation.fault_sim import injection_for
@@ -125,3 +128,23 @@ class TestOracleAgreement:
             assert exact_detection_depth(circuit, fault, max_depth=10) not in (
                 None,
             )
+
+    def test_window_pressure_survives_solution_enumeration(self):
+        """Regression: a branch fault whose every small-window solution has
+        an unjustifiable state requirement, but whose effect can also be
+        latched past the window edge.  The search must report WINDOW (not
+        EXHAUSTED) after enumerating those solutions, so the engine grows
+        the window instead of unsoundly proving the fault untestable —
+        here the 4-frame detection needs no state at all."""
+        c = Circuit("window_pressure")
+        c.add_input("pi0")
+        c.add_gate("g0", GateType.XNOR, ["ff1", "ff1"])
+        c.add_gate("g3", GateType.OR, ["pi0", "g0"])
+        c.add_gate("g5", GateType.OR, ["ff0", "g0"])
+        c.add_gate("ff0", GateType.DFF, ["ff1"])
+        c.add_gate("ff1", GateType.DFF, ["g3"])
+        c.add_output("g5")
+        fault = Fault("ff1", 0, gate="g0", pin=0)
+        assert exact_detection_depth(c, fault) == 4
+        outcome = run_engine(c, fault)
+        assert outcome.status is GenStatus.DETECTED

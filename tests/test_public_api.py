@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.ga",
     "repro.baselines",
     "repro.hybrid",
+    "repro.campaign",
     "repro.circuits",
     "repro.analysis",
 ]
