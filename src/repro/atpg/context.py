@@ -1,0 +1,176 @@
+"""Shared per-circuit ATPG state: one context instead of five rebuilds.
+
+Before this module, every layer that touched a circuit — the hybrid
+driver, :class:`~repro.atpg.hitec.SequentialTestGenerator`,
+:func:`~repro.atpg.justify.justify_state`, the GA justifier, the fault
+simulator — independently coerced ``Circuit | CompiledCircuit``, computed
+SCOAP testability, collapsed the fault universe, and built simulator
+instances.  :class:`AtpgContext` owns all of that once per circuit:
+
+* the :class:`~repro.simulation.compiled.CompiledCircuit` (compiled on
+  demand from a :class:`~repro.circuit.netlist.Circuit`);
+* SCOAP :class:`~repro.atpg.scoap.Testability` measures (lazy);
+* the collapsed fault universe (lazy);
+* fault-simulator handles, cached by ``(width, jobs)``;
+* deterministic RNG derivation (named streams off one base seed);
+* the telemetry recorder and the injectable wall clock;
+* the optional cross-fault :class:`~repro.knowledge.StateKnowledge` store.
+
+Engines take a context (or build one through :meth:`AtpgContext.ensure`,
+which also accepts the legacy ``circuit``/``testability`` keyword style,
+kept as thin deprecated shims).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..circuit.netlist import Circuit
+from ..clock import monotonic
+from ..faults.collapse import collapse_faults
+from ..faults.model import Fault
+from ..knowledge import StateKnowledge, constraints_fingerprint
+from ..simulation.compiled import CompiledCircuit, compile_circuit
+from ..simulation.fault_sim import FaultSimulator
+from ..telemetry import NULL_RECORDER, Recorder
+from .constraints import InputConstraints, UNCONSTRAINED
+from .scoap import Testability, compute_testability
+
+#: Anything the legacy engine constructors accepted as "the circuit".
+CircuitLike = Union[Circuit, CompiledCircuit]
+
+
+def _derive(seed: int, token: str) -> int:
+    """Deterministic, platform-stable named-stream seed derivation."""
+    return (seed * 0x9E3779B1 + zlib.crc32(token.encode("utf-8"))) & 0x7FFFFFFF
+
+
+class AtpgContext:
+    """Owns every piece of shared per-circuit ATPG state.
+
+    Args:
+        circuit: the circuit under test, compiled or not.
+        testability: precomputed SCOAP measures (computed lazily when
+            omitted).
+        constraints: environment input constraints (``None`` or a trivial
+            constraint set both normalise to unconstrained).
+        backend: simulation backend for every simulator the context
+            builds (``None`` defers to ``REPRO_SIM_BACKEND``).
+        telemetry: shared metrics recorder (defaults to the no-op).
+        clock: injectable wall-clock source for every deadline derived
+            from this context.
+        seed: base seed for :meth:`rng` stream derivation.
+        knowledge: cross-fault state-knowledge store shared by every
+            engine built on this context (``None`` disables reuse).
+    """
+
+    def __init__(
+        self,
+        circuit: CircuitLike,
+        testability: Optional[Testability] = None,
+        constraints: Optional[InputConstraints] = None,
+        backend: Optional[str] = None,
+        telemetry: Optional[Recorder] = None,
+        clock: Optional[Callable[[], float]] = None,
+        seed: int = 0,
+        knowledge: Optional[StateKnowledge] = None,
+    ) -> None:
+        if isinstance(circuit, CompiledCircuit):
+            self.cc: CompiledCircuit = circuit
+        else:
+            self.cc = compile_circuit(circuit)
+        self.circuit: Circuit = self.cc.circuit
+        self.constraints: InputConstraints = constraints or UNCONSTRAINED
+        self.backend = backend
+        self.telemetry: Recorder = telemetry or NULL_RECORDER
+        self.clock: Callable[[], float] = clock or monotonic
+        self.seed = seed
+        self.knowledge = knowledge
+        self._testability = testability
+        self._faults: Optional[List[Fault]] = None
+        self._simulators: Dict[Tuple[int, int], FaultSimulator] = {}
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def ensure(
+        cls,
+        circuit: "CircuitLike | AtpgContext",
+        **kwargs: object,
+    ) -> "AtpgContext":
+        """Coerce a circuit / compiled circuit / context into a context.
+
+        This is the deprecation shim behind every legacy engine
+        signature: passing an existing context returns it unchanged
+        (keyword overrides are rejected to avoid silently forking shared
+        state); anything else builds a fresh context from the legacy
+        keywords.
+        """
+        if isinstance(circuit, AtpgContext):
+            overrides = {k: v for k, v in kwargs.items() if v is not None}
+            if overrides:
+                raise ValueError(
+                    "cannot override context attributes "
+                    f"({', '.join(sorted(overrides))}) when passing an "
+                    "AtpgContext; build a new context instead"
+                )
+            return circuit
+        return cls(circuit, **kwargs)  # type: ignore[arg-type]
+
+    # -- lazy shared artifacts -----------------------------------------
+    @property
+    def testability(self) -> Testability:
+        """SCOAP measures, computed once per context."""
+        if self._testability is None:
+            self._testability = compute_testability(self.cc)
+        return self._testability
+
+    @property
+    def faults(self) -> List[Fault]:
+        """The collapsed fault universe, computed once per context."""
+        if self._faults is None:
+            self._faults = collapse_faults(self.circuit)
+        return list(self._faults)
+
+    @property
+    def active_constraints(self) -> Optional[InputConstraints]:
+        """The constraints when non-trivial, else ``None`` (engine form)."""
+        return None if self.constraints.is_trivial else self.constraints
+
+    @property
+    def knowledge_fingerprint(self) -> str:
+        """Constraint-environment fingerprint knowledge facts carry."""
+        return constraints_fingerprint(self.active_constraints)
+
+    def make_knowledge(self) -> StateKnowledge:
+        """Attach (and return) a fresh store matching this environment."""
+        self.knowledge = StateKnowledge(
+            circuit=self.circuit.name,
+            fingerprint=self.knowledge_fingerprint,
+        )
+        return self.knowledge
+
+    # -- derived handles -----------------------------------------------
+    def rng(self, token: str = "") -> random.Random:
+        """A named deterministic random stream derived from the seed."""
+        return random.Random(_derive(self.seed, token))
+
+    def fault_simulator(self, width: int = 64, jobs: int = 1) -> FaultSimulator:
+        """A fault simulator for this circuit, cached by ``(width, jobs)``."""
+        key = (width, jobs)
+        sim = self._simulators.get(key)
+        if sim is None:
+            sim = FaultSimulator(
+                self.cc,
+                width=width,
+                backend=self.backend,
+                jobs=jobs,
+                telemetry=self.telemetry,
+            )
+            self._simulators[key] = sim
+        return sim
+
+    def verifier(self) -> FaultSimulator:
+        """The width-1 simulator used to confirm single candidates."""
+        return self.fault_simulator(width=1, jobs=1)

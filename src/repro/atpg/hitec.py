@@ -17,20 +17,21 @@ the configured frame bounds.
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
-from ..simulation.compiled import CompiledCircuit, compile_circuit
+from ..knowledge import StateKnowledge
+from ..simulation.compiled import CompiledCircuit
 from ..simulation.encoding import X
 from ..simulation.fault_sim import FaultSimulator
-from ..telemetry import NULL_RECORDER, Recorder
+from ..telemetry import Recorder
 from .constraints import InputConstraints
+from .context import AtpgContext
 from .justify import JustifyResult, JustifyStatus
 from .podem import Limits, PodemEngine, SearchStatus, Solution
-from .scoap import Testability, compute_testability
+from .scoap import Testability
 
 
 class TestGenStatus(enum.Enum):
@@ -91,24 +92,34 @@ class SequentialTestGenerator:
     """Deterministic excitation/propagation with pluggable justification.
 
     Args:
-        circuit: circuit or compiled form.
+        circuit: an :class:`~repro.atpg.context.AtpgContext`, or (legacy
+            shim) a circuit / compiled circuit plus the keyword arguments
+            below, which are folded into a private context.
         max_frames: largest forward propagation window to try.
         max_solutions: propagation alternatives to offer the justifier.
-        testability: shared SCOAP measures (computed once if omitted).
+        testability: shared SCOAP measures (legacy shim; lives on the
+            context).
         constraints: environment-imposed input constraints applied to the
-            excitation/propagation vectors (see
-            :mod:`repro.atpg.constraints`).
+            excitation/propagation vectors (legacy shim; lives on the
+            context).
         verify: confirm every candidate by fault simulation before
             reporting DETECTED (rejects the rare optimistic candidate
             whose frame-0 faulty state differs from the good state the
             justifier produced); unverified candidates count as
             justification failures and the search continues.
-        telemetry: metrics recorder (defaults to the shared no-op).
+        backend / telemetry: legacy shims; live on the context.
+
+    When the context carries a :class:`~repro.knowledge.StateKnowledge`
+    store, known-justified frame-0 states short-circuit the justifier
+    (still verified before acceptance, with fallback to the real
+    justifier on a stale hit) and absolutely-unjustifiable states are
+    treated as exhausted without a search — which keeps UNTESTABLE
+    claims sound, since only absolute proofs are consulted.
     """
 
     def __init__(
         self,
-        circuit: "Circuit | CompiledCircuit",
+        circuit: "Circuit | CompiledCircuit | AtpgContext",
         max_frames: int = 8,
         max_solutions: int = 8,
         testability: Optional[Testability] = None,
@@ -117,19 +128,39 @@ class SequentialTestGenerator:
         backend: Optional[str] = None,
         telemetry: Optional[Recorder] = None,
     ):
-        self.cc = (
-            circuit
-            if isinstance(circuit, CompiledCircuit)
-            else compile_circuit(circuit)
+        self.ctx = AtpgContext.ensure(
+            circuit,
+            testability=testability,
+            constraints=constraints,
+            backend=backend,
+            telemetry=telemetry,
         )
+        self.cc = self.ctx.cc
         self.max_frames = max(1, max_frames)
         self.max_solutions = max(1, max_solutions)
-        self.meas = testability or compute_testability(self.cc)
-        self.constraints = constraints
         self.verify = verify
-        self.telemetry = telemetry or NULL_RECORDER
-        self._verifier = FaultSimulator(self.cc, width=1, backend=backend,
-                                        telemetry=self.telemetry)
+
+    # Shared artifacts live on the context; these aliases keep the
+    # pre-context attribute surface working.
+    @property
+    def meas(self) -> Testability:
+        return self.ctx.testability
+
+    @property
+    def constraints(self) -> Optional[InputConstraints]:
+        return self.ctx.active_constraints
+
+    @property
+    def telemetry(self) -> Recorder:
+        return self.ctx.telemetry
+
+    @property
+    def knowledge(self) -> Optional[StateKnowledge]:
+        return self.ctx.knowledge
+
+    @property
+    def _verifier(self) -> FaultSimulator:
+        return self.ctx.verifier()
 
     def generate(
         self,
@@ -275,6 +306,25 @@ class SequentialTestGenerator:
                 ),
                 JustifyStatus.JUSTIFIED,
             )
+        know = self.knowledge
+        if know is not None:
+            # Absolute unjustifiability proofs only: the generator does
+            # not know the justifier's frame budget, and a depth-bounded
+            # fact must not masquerade as EXHAUSTED here.
+            if know.lookup_unjustifiable(required) == "exhausted":
+                return None, JustifyStatus.EXHAUSTED
+            seq = know.lookup_justified(required)
+            if seq is not None:
+                candidate = TestGenResult(
+                    TestGenStatus.DETECTED,
+                    sequence=list(seq) + list(sol.vectors),
+                    justification_frames=len(seq),
+                )
+                if not self.verify or self._confirm(candidate):
+                    counters.justify_successes += 1
+                    return candidate, JustifyStatus.JUSTIFIED
+                # stale sidecar entry: fall through to the real justifier
+                know.stats["stale_hits"] += 1
         counters.justify_calls += 1
         with self.telemetry.span("atpg.justify"):
             jres = justifier(required)

@@ -11,7 +11,12 @@ assembled vector sequence then justifies the state from the all-unknown
 Alternative single-step solutions are enumerated on demand from the PODEM
 engine, so the search backtracks across frames like HITEC's reverse time
 processing.  Exhaustion is tracked precisely enough to distinguish "proven
-unjustifiable within the depth bound" from "gave up on a budget limit".
+unjustifiable within the depth bound" from "gave up on a budget limit",
+and precise enough to feed the cross-fault
+:class:`~repro.knowledge.StateKnowledge` store: only genuine proofs are
+recorded (budget aborts and enumeration truncation never are), and known
+facts short-circuit both the top-level query and every sub-requirement the
+recursion produces.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..knowledge import StateKnowledge
 from ..simulation.compiled import CompiledCircuit
 from .constraints import InputConstraints
 from .podem import Limits, PodemEngine, SearchStatus
@@ -66,6 +72,7 @@ def justify_state(
     testability: Optional[Testability] = None,
     solutions_per_step: int = 8,
     constraints: "Optional[InputConstraints]" = None,
+    knowledge: "Optional[StateKnowledge]" = None,
 ) -> JustifyResult:
     """Find an input sequence that justifies ``required`` from the all-X state.
 
@@ -79,31 +86,62 @@ def justify_state(
             giving up on a partial requirement.
         constraints: environment-imposed input constraints applied to every
             justification vector.
+        knowledge: optional cross-fault store; known-justified states
+            short-circuit the search (top level and every sub-requirement),
+            known-unjustifiable states prune it, and proofs produced here
+            are recorded back.  The caller is responsible for passing a
+            store whose constraint fingerprint matches ``constraints``.
     """
     meas = testability or compute_testability(cc)
-    flags = {"limit": False, "bounded": False}
+    # Three distinct failure bits so knowledge recording stays sound:
+    # ``depth`` (the frame bound bit) yields a depth-limited proof,
+    # ``truncated`` (solutions_per_step cut the enumeration) and
+    # ``limit`` (backtrack/time budget) prove nothing.
+    flags = {"limit": False, "depth": False, "truncated": False}
+
+    if knowledge is not None and required:
+        known = knowledge.lookup_justified(required)
+        if known is not None:
+            return JustifyResult(JustifyStatus.JUSTIFIED, known)
+        verdict = knowledge.lookup_unjustifiable(required, max_depth)
+        if verdict == "exhausted":
+            return JustifyResult(JustifyStatus.EXHAUSTED)
+        if verdict == "bounded":
+            return JustifyResult(JustifyStatus.BOUNDED)
 
     def dfs(
         req: Dict[str, int], depth: int, seen: FrozenSet[FrozenSet]
     ) -> Optional[List[List[int]]]:
         if not req:
             return []
+        if knowledge is not None:
+            known = knowledge.lookup_justified(req)
+            if known is not None:
+                return known
+            verdict = knowledge.lookup_unjustifiable(req, depth)
+            if verdict == "exhausted":
+                return None  # absolute fact: prune without raising a flag
+            if verdict == "bounded":
+                flags["depth"] = True
+                return None
         if depth <= 0:
-            flags["bounded"] = True
+            flags["depth"] = True
             return None
         key = frozenset(req.items())
         if key in seen:
             return None  # state-requirement loop: cannot make progress
         engine = PodemEngine(cc, targets=req, testability=meas,
-                             constraints=constraints)
+                             constraints=constraints, knowledge=knowledge)
         tried = 0
         for sol in engine.solutions(limits):
             tried += 1
             prefix = dfs(sol.required_state, depth - 1, seen | {key})
             if prefix is not None:
+                if knowledge is not None and sol.required_state:
+                    knowledge.record_justified(sol.required_state, prefix)
                 return prefix + [sol.vectors[0]]
             if tried >= solutions_per_step:
-                flags["bounded"] = True
+                flags["truncated"] = True
                 break
         if engine.status is SearchStatus.LIMIT:
             flags["limit"] = True
@@ -111,9 +149,17 @@ def justify_state(
 
     vectors = dfs(dict(required), max_depth, frozenset())
     if vectors is not None:
+        if knowledge is not None:
+            knowledge.record_justified(required, vectors)
         return JustifyResult(JustifyStatus.JUSTIFIED, vectors)
     if flags["limit"]:
         return JustifyResult(JustifyStatus.LIMIT)
-    if flags["bounded"]:
+    if flags["depth"] or flags["truncated"]:
+        # A pure depth-bound failure is a proof valid up to max_depth;
+        # enumeration truncation is a budget effect and proves nothing.
+        if knowledge is not None and not flags["truncated"]:
+            knowledge.record_unjustifiable(required, max_depth)
         return JustifyResult(JustifyStatus.BOUNDED)
+    if knowledge is not None:
+        knowledge.record_unjustifiable(required, None)
     return JustifyResult(JustifyStatus.EXHAUSTED)

@@ -21,12 +21,13 @@ propagation paths when a required state proves unjustifiable (the
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..circuit.gates import CONTROLLING_VALUE, INVERSION, GateType
+from ..clock import monotonic
 from ..faults.model import Fault
+from ..knowledge import StateKnowledge
 from ..simulation.compiled import CompiledCircuit
 from ..simulation.encoding import X
 from .constraints import InputConstraints
@@ -58,7 +59,7 @@ class Limits:
 
     max_backtracks: int = 1000
     deadline: Optional[float] = None
-    clock: Callable[[], float] = time.monotonic
+    clock: Callable[[], float] = monotonic
 
     def expired(self) -> bool:
         """True when the wall-clock deadline has passed."""
@@ -99,6 +100,11 @@ class PodemEngine:
         num_frames: window size (DETECT) or 1 (JUSTIFY).
         targets: JUSTIFY-mode goals, as {D-input net name: 0/1}.
         testability: SCOAP measures (computed on demand if omitted).
+        knowledge: optional cross-fault store; in JUSTIFY mode, solutions
+            whose previous-frame state requirement is *absolutely* proven
+            unjustifiable are pruned instead of yielded.  Only absolute
+            proofs prune (the engine cannot know the caller's remaining
+            frame budget), so pruning never weakens an EXHAUSTED claim.
     """
 
     def __init__(
@@ -110,6 +116,7 @@ class PodemEngine:
         testability: Optional[Testability] = None,
         constraints: "Optional[InputConstraints]" = None,
         observe_ppo: bool = False,
+        knowledge: "Optional[StateKnowledge]" = None,
     ):
         if fault is None and not targets:
             raise ValueError("need a fault (DETECT) or targets (JUSTIFY)")
@@ -138,6 +145,7 @@ class PodemEngine:
                     raise ValueError(f"{name} is not a flip-flop output")
                 d_idx = cc.ff_in[cc.ff_out.index(ff_idx)]
                 self._targets.append((d_idx, val))
+        self.knowledge = knowledge if fault is None else None
         self.backtracks = 0
         self.window_hit = False
         self._stack: List[_Decision] = []
@@ -156,7 +164,24 @@ class PodemEngine:
             found = self._search(limits)
             if not found:
                 return
-            yield self._extract()
+            sol = self._extract()
+            if (
+                self.knowledge is not None
+                and sol.required_state
+                and self.knowledge.lookup_unjustifiable(sol.required_state)
+                == "exhausted"
+            ):
+                # dead branch: this assignment needs a provably unreachable
+                # previous-frame state, so enumerate the next one instead
+                self.knowledge.stats["podem_pruned"] += 1
+                if not self._backtrack():
+                    self.status = (
+                        SearchStatus.WINDOW if self.window_hit
+                        else SearchStatus.EXHAUSTED
+                    )
+                    return
+                continue
+            yield sol
             # treat the solution as a dead end to enumerate the next one;
             # window pressure recorded on other branches must survive, or
             # the caller would wrongly stop growing the frame window

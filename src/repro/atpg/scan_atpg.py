@@ -19,11 +19,11 @@ benchmarks read directly off the same tables.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
+from ..clock import monotonic
 from ..circuit.scan import ScanChain, insert_scan, scan_load_sequence
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
@@ -71,10 +71,12 @@ class ScanTestGenerator:
         self,
         params: Optional[ScanAtpgParams] = None,
         faults: Optional[Sequence[Fault]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> RunResult:
         """Generate scan tests for every fault of the scanned netlist."""
         params = params or ScanAtpgParams()
-        start = time.monotonic()
+        tick = clock or monotonic
+        start = tick()
         remaining: List[Fault] = (
             list(faults) if faults is not None else collapse_faults(self.scanned)
         )
@@ -97,10 +99,10 @@ class ScanTestGenerator:
         for fault in list(remaining):
             if fault in detected:
                 continue
-            if deadline and time.monotonic() >= deadline:
+            if deadline and tick() >= deadline:
                 break
             targeted += 1
-            sequence, proof = self._target(fault, params, deadline)
+            sequence, proof = self._target(fault, params, deadline, tick)
             if proof:
                 untestable.append(fault)
                 remaining.remove(fault)
@@ -130,7 +132,7 @@ class ScanTestGenerator:
                 approach="scan",
                 detected=len(detected),
                 vectors=len(test_set),
-                time_s=time.monotonic() - start,
+                time_s=tick() - start,
                 untestable=len(untestable),
                 targeted=targeted,
                 aborted=aborted,
@@ -142,7 +144,7 @@ class ScanTestGenerator:
         return result
 
     # ------------------------------------------------------------------
-    def _target(self, fault: Fault, params: ScanAtpgParams, deadline):
+    def _target(self, fault: Fault, params: ScanAtpgParams, deadline, tick):
         """One scan test (load + capture + unload), or an untestable proof."""
         engine = PodemEngine(
             self.cc,
@@ -151,7 +153,8 @@ class ScanTestGenerator:
             testability=self.meas,
             observe_ppo=True,
         )
-        limits = Limits(max_backtracks=params.max_backtracks, deadline=deadline)
+        limits = Limits(max_backtracks=params.max_backtracks,
+                        deadline=deadline, clock=tick)
         sol = engine.run(limits)
         if sol is None:
             if engine.status is SearchStatus.EXHAUSTED and not engine.window_hit:

@@ -19,11 +19,11 @@ tables can compare them directly with GA-SIM, HITEC, and GA-HITEC.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
+from ..clock import monotonic
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..hybrid.results import PassStats, RunResult
@@ -75,10 +75,12 @@ class RandomTestGenerator:
         params: Optional[RandomAtpgParams] = None,
         faults: Optional[Sequence[Fault]] = None,
         time_limit: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> RunResult:
         """Generate until coverage stalls; returns cumulative statistics."""
         params = params or RandomAtpgParams()
-        start = time.monotonic()
+        tick = clock or monotonic
+        start = tick()
         remaining: List[Fault] = (
             list(faults) if faults is not None else collapse_faults(self.circuit)
         )
@@ -101,7 +103,7 @@ class RandomTestGenerator:
         ):
             if (
                 time_limit is not None
-                and time.monotonic() - start >= time_limit
+                and tick() - start >= time_limit
             ):
                 break
             block_no += 1
@@ -127,7 +129,7 @@ class RandomTestGenerator:
                     approach=self.name.lower(),
                     detected=len(detected),
                     vectors=len(test_set),
-                    time_s=time.monotonic() - start,
+                    time_s=tick() - start,
                 )
             )
 

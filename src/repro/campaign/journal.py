@@ -27,10 +27,10 @@ from __future__ import annotations
 import io
 import json
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..clock import wall
 from .spec import CampaignError
 
 #: Identifier embedded in the journal's campaign header line.
@@ -40,7 +40,7 @@ JOURNAL_SCHEMA = "repro-campaign-journal/v1"
 class Journal:
     """Append-only JSONL writer with per-event fsync durability."""
 
-    def __init__(self, path: str, clock: Callable[[], float] = time.time):
+    def __init__(self, path: str, clock: Callable[[], float] = wall):
         self.path = path
         self.clock = clock
         self._handle: Optional[io.TextIOWrapper] = None

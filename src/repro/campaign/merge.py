@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..knowledge import KnowledgeError, StateKnowledge
 from ..simulation.compiled import compile_circuit
 from ..simulation.fault_sim import FaultSimulator
 from ..circuits.resolve import resolve_circuit
@@ -56,7 +57,12 @@ class CircuitMergeResult:
 
 @dataclass
 class CampaignResult:
-    """Final outcome of a campaign: per-circuit merges plus the rollup."""
+    """Final outcome of a campaign: per-circuit merges plus the rollup.
+
+    ``knowledge`` holds the per-circuit union of every item's serialized
+    state-knowledge store (empty when the spec disables knowledge); the
+    runner persists it as a ``repro-knowledge/v1`` sidecar.
+    """
 
     name: str
     spec_hash: str
@@ -65,6 +71,8 @@ class CampaignResult:
     items_done: int = 0
     items_failed: int = 0
     wall_time_s: float = 0.0
+    knowledge: Dict[str, StateKnowledge] = field(default_factory=dict)
+    knowledge_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_faults(self) -> int:
@@ -138,6 +146,26 @@ def _sequences_of(payload: Dict[str, Any]) -> List[List[List[int]]]:
     return sequences
 
 
+def _merge_knowledge(
+    result: CampaignResult, circuit_name: str, doc: Dict[str, Any]
+) -> None:
+    """Union one item's serialized knowledge store into the campaign's.
+
+    Invalid or incompatible documents (schema drift, fingerprint
+    mismatch) are skipped: knowledge is an accelerator, never a
+    correctness dependency, so a bad store must not fail the merge.
+    """
+    try:
+        store = StateKnowledge.from_dict(doc)
+        union = result.knowledge.get(circuit_name)
+        if union is None:
+            result.knowledge[circuit_name] = store
+        else:
+            union.merge(store)
+    except (KnowledgeError, KeyError, TypeError, ValueError):
+        pass
+
+
 def merge_campaign(
     spec: CampaignSpec,
     payloads: Dict[str, Dict[str, Any]],
@@ -162,6 +190,12 @@ def merge_campaign(
             untestable.extend(payload.get("untestable") or [])
             if payload.get("report"):
                 reports.append(RunReport.from_dict(payload["report"]))
+            if payload.get("knowledge"):
+                _merge_knowledge(result, circuit_name, payload["knowledge"])
+            for key, value in (payload.get("knowledge_stats") or {}).items():
+                result.knowledge_stats[key] = (
+                    result.knowledge_stats.get(key, 0) + int(value)
+                )
         circuit = resolve_circuit(circuit_name)
         faults = shard_faults(spec, circuit_name)
         merged = CircuitMergeResult(

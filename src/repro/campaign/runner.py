@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from queue import Empty
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..clock import monotonic
+from ..knowledge import save_knowledge
 from .journal import JOURNAL_SCHEMA, Journal, JournalState
 from .merge import CampaignResult, merge_campaign
 from .queue import ItemState, WorkItem, WorkQueue, build_items
@@ -70,7 +71,7 @@ class CampaignRunner:
         workers: int = 1,
         heartbeat_interval: float = 0.5,
         hang_timeout_s: Optional[float] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = monotonic,
     ):
         self.spec = spec
         self.journal_path = journal_path
@@ -125,6 +126,21 @@ class CampaignRunner:
             if result.report is not None:
                 result.report.jobs = self.workers
                 result.report.wall_time_s = result.wall_time_s
+            # sidecar + its event land before "merged": the journal's
+            # terminal event stays "merged", and a crash in between just
+            # means the (idempotent) merge stage reruns on resume
+            if self.spec.knowledge and result.knowledge:
+                path = self.knowledge_path()
+                save_knowledge(result.knowledge, path)
+                journal.append({
+                    "type": "knowledge",
+                    "path": path,
+                    "entries": {
+                        name: len(store)
+                        for name, store in sorted(result.knowledge.items())
+                    },
+                    "stats": dict(sorted(result.knowledge_stats.items())),
+                })
             journal.append({
                 "type": "merged",
                 "summary": result.summary_dict(),
@@ -132,6 +148,11 @@ class CampaignRunner:
             return result
         finally:
             journal.close()
+
+    def knowledge_path(self) -> str:
+        """Sidecar path: the journal's stem plus ``.knowledge.json``."""
+        stem, _ = os.path.splitext(self.journal_path)
+        return f"{stem}.knowledge.json"
 
     @classmethod
     def resume(

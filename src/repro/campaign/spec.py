@@ -64,6 +64,12 @@ class CampaignSpec:
             with a fixed-duration synthetic workload, so orchestration
             overhead and scaling can be measured independently of ATPG
             cost and host core count (benchmarks and failure drills only).
+        knowledge: per-item cross-fault state-knowledge reuse (each item
+            builds its own isolated store, so results stay deterministic
+            under resume); the merge stage unions every item's store into
+            a ``repro-knowledge/v1`` sidecar next to the journal.
+        knowledge_file: optional ``repro-knowledge/v1`` sidecar preloaded
+            into every item's store (a fixed input, so determinism holds).
     """
 
     circuits: Tuple[str, ...]
@@ -81,6 +87,8 @@ class CampaignSpec:
     item_timeout_s: Optional[float] = None
     max_attempts: int = 3
     synthetic_item_seconds: Optional[float] = None
+    knowledge: bool = True
+    knowledge_file: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.circuits:

@@ -19,8 +19,10 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..clock import monotonic
 from ..hybrid.driver import HybridTestGenerator
 from ..circuits.resolve import resolve_circuit
+from ..knowledge import KnowledgeError, StateKnowledge, load_store_for
 from .queue import WorkItem, _hash_faults, shard_faults
 from .spec import CampaignError, CampaignSpec
 
@@ -30,8 +32,10 @@ class ItemOutcome:
     """Durable result payload of one completed work item.
 
     Everything the merge stage and the journal need: the accepted vectors
-    with their block offsets, the per-shard dispositions, and the item's
-    ``repro-run-report/v1`` document.
+    with their block offsets, the per-shard dispositions, the item's
+    ``repro-run-report/v1`` document, and the item's serialized
+    ``repro-knowledge/v1`` store (so the merge stage can union knowledge
+    across shards and resumes can replay it from the journal).
     """
 
     item_id: str
@@ -44,6 +48,8 @@ class ItemOutcome:
     total_faults: int = 0
     timed_out: bool = False
     report: Optional[Dict[str, Any]] = None
+    knowledge: Optional[Dict[str, Any]] = None
+    knowledge_stats: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -71,7 +77,7 @@ def run_item(
             seed=item.seed,
             total_faults=item.count,
         )
-    tick = clock or time.monotonic
+    tick = clock or monotonic
     circuit = resolve_circuit(item.circuit)
     faults = shard_faults(spec, item.circuit)
     shard = faults[item.start : item.start + item.count]
@@ -80,6 +86,19 @@ def run_item(
             f"{item.item_id}: fault shard drifted since the campaign was "
             f"planned (hash mismatch) — start a fresh campaign"
         )
+    # Each item owns an isolated knowledge store (optionally preloaded
+    # from the spec's fixed sidecar file): items never see each other's
+    # in-flight facts, so reruns and resumes reproduce results exactly.
+    knowledge: "bool | StateKnowledge" = spec.knowledge
+    if spec.knowledge and spec.knowledge_file:
+        try:
+            preloaded = load_store_for(
+                spec.knowledge_file, circuit.name, "unconstrained"
+            )
+        except (OSError, KnowledgeError):
+            preloaded = None  # an accelerator, never a failed item
+        if preloaded is not None:
+            knowledge = preloaded
     driver = HybridTestGenerator(
         circuit,
         seed=item.seed,
@@ -88,6 +107,7 @@ def run_item(
         backend=spec.backend,
         generator_name="HITEC" if spec.baseline else "GA-HITEC",
         clock=clock,
+        knowledge=knowledge,
     )
     deadline = (
         tick() + spec.item_timeout_s
@@ -106,6 +126,13 @@ def run_item(
         total_faults=item.count,
         timed_out=result.deadline_expired,
         report=result.report.to_dict() if result.report else None,
+        knowledge=(
+            driver.knowledge.to_dict()
+            if driver.knowledge is not None
+            and (len(driver.knowledge) or driver.knowledge.seed_pool)
+            else None
+        ),
+        knowledge_stats=dict(result.knowledge_stats),
     )
 
 

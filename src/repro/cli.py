@@ -42,6 +42,7 @@ from .circuits.resolve import resolve_circuit
 from .faults.collapse import collapse_faults
 from .hybrid.driver import gahitec, hitec_baseline
 from .hybrid.passes import gahitec_schedule, hitec_schedule
+from .knowledge import load_store_for, save_knowledge
 from .telemetry import RunReport, TelemetryRecorder, diff_reports, render_diff
 
 __all__ = ["build_parser", "main", "resolve_circuit"]
@@ -94,10 +95,19 @@ def cmd_atpg(args: argparse.Namespace) -> int:
     recorder = None
     if args.telemetry or args.trace:
         recorder = TelemetryRecorder(trace=bool(args.trace))
+    knowledge: object = not args.no_knowledge
+    if knowledge and args.knowledge_in:
+        preloaded = load_store_for(args.knowledge_in, circuit.name,
+                                   "unconstrained")
+        if preloaded is None:
+            print(f"note: {args.knowledge_in} has no knowledge for "
+                  f"{circuit.name}; starting fresh")
+        else:
+            knowledge = preloaded
     if args.baseline:
         driver = hitec_baseline(circuit, seed=args.seed,
                                 backend=args.backend, jobs=args.jobs,
-                                telemetry=recorder)
+                                telemetry=recorder, knowledge=knowledge)
         schedule = hitec_schedule(
             num_passes=args.passes,
             time_scale=args.time_scale,
@@ -106,7 +116,7 @@ def cmd_atpg(args: argparse.Namespace) -> int:
     else:
         driver = gahitec(circuit, seed=args.seed,
                          backend=args.backend, jobs=args.jobs,
-                         telemetry=recorder)
+                         telemetry=recorder, knowledge=knowledge)
         schedule = gahitec_schedule(
             x=x,
             num_passes=args.passes,
@@ -136,6 +146,16 @@ def cmd_atpg(args: argparse.Namespace) -> int:
         recorder.save_trace(args.trace)
         print(f"wrote {len(recorder.trace_events)} trace events "
               f"to {args.trace}")
+    if result.knowledge_stats:
+        hits = (result.knowledge_stats.get("justified_hits", 0)
+                + result.knowledge_stats.get("unjustifiable_hits", 0))
+        print(f"knowledge: {hits} hits, "
+              f"{result.knowledge_stats.get('records', 0)} facts recorded, "
+              f"{result.knowledge_stats.get('ga_seeded', 0)} GA seeds used")
+    if args.knowledge_out and driver.knowledge is not None:
+        save_knowledge({circuit.name: driver.knowledge}, args.knowledge_out)
+        print(f"wrote {len(driver.knowledge)} knowledge entries "
+              f"to {args.knowledge_out}")
     return 0
 
 
@@ -187,11 +207,18 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         fault_limit=args.fault_limit,
         item_timeout_s=args.item_timeout,
         max_attempts=args.max_attempts,
+        knowledge=not args.no_knowledge,
+        knowledge_file=args.knowledge_from,
     )
 
 
 def _finish_campaign(result, args: argparse.Namespace) -> int:
     print(result.summary())
+    if result.knowledge:
+        entries = sum(len(s) for s in result.knowledge.values())
+        print(f"knowledge: {entries} facts learned across "
+              f"{len(result.knowledge)} circuit(s) "
+              f"(sidecar next to the journal)")
     if args.report:
         if result.report is not None:
             result.report.save(args.report)
@@ -351,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a structured run report (JSON) to PATH")
     p.add_argument("--trace", metavar="PATH",
                    help="write span trace events (JSONL) to PATH")
+    p.add_argument("--no-knowledge", action="store_true",
+                   help="disable cross-fault state-knowledge reuse")
+    p.add_argument("--knowledge-in", metavar="PATH",
+                   help="preload a repro-knowledge/v1 sidecar")
+    p.add_argument("--knowledge-out", metavar="PATH",
+                   help="write the run's knowledge store to PATH")
     _add_sim_options(p)
     p.set_defaults(func=cmd_atpg)
 
@@ -408,6 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-item wall-clock budget in seconds")
     cp.add_argument("--max-attempts", type=int, default=3,
                     help="attempts per item before it is marked failed")
+    cp.add_argument("--no-knowledge", action="store_true",
+                    help="disable cross-fault state-knowledge reuse")
+    cp.add_argument("--knowledge-from", metavar="PATH",
+                    help="preload each item's knowledge store from this "
+                         "repro-knowledge/v1 sidecar")
     _campaign_runner_options(cp)
     cp.set_defaults(func=cmd_campaign_run)
 

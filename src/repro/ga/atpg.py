@@ -25,11 +25,11 @@ profile the paper describes for simulation-based generators.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
+from ..clock import monotonic
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..hybrid.results import PassStats, RunResult
@@ -83,10 +83,12 @@ class GASimulationTestGenerator:
         params: Optional[GAAtpgParams] = None,
         faults: Optional[Sequence[Fault]] = None,
         time_limit: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> RunResult:
         """Generate a test set; returns paper-style cumulative statistics."""
         params = params or GAAtpgParams()
-        start_time = time.monotonic()
+        tick = clock or monotonic
+        start_time = tick()
         remaining: List[Fault] = (
             list(faults) if faults is not None else collapse_faults(self.circuit)
         )
@@ -110,7 +112,7 @@ class GASimulationTestGenerator:
         ):
             if (
                 time_limit is not None
-                and time.monotonic() - start_time >= time_limit
+                and tick() - start_time >= time_limit
             ):
                 break
             round_no += 1
@@ -142,7 +144,7 @@ class GASimulationTestGenerator:
                     approach="ga-sim",
                     detected=len(detected),
                     vectors=len(test_set),
-                    time_s=time.monotonic() - start_time,
+                    time_s=tick() - start_time,
                     untestable=0,  # simulation alone can prove nothing
                 )
             )

@@ -27,9 +27,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..atpg.constraints import InputConstraints, UNCONSTRAINED
+from ..atpg.context import AtpgContext
 from ..atpg.justify import JustifyResult, JustifyStatus
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
+from ..knowledge import StateKnowledge
 from ..simulation.compiled import CompiledCircuit, compile_circuit
 from ..simulation.encoding import X, full_mask, pack, pack_const
 from ..simulation.fault_sim import injection_for
@@ -67,33 +69,44 @@ class GAStateJustifier:
     """Evolves input sequences that drive the circuit into a required state.
 
     Args:
-        circuit: circuit or compiled form.
+        circuit: an :class:`~repro.atpg.context.AtpgContext`, or (legacy
+            shim) a circuit / compiled form plus the keyword arguments
+            below, which are folded into a private context.
         rng: random source shared across attempts (seed for reproducibility).
-        constraints: environment input constraints applied by construction.
+        constraints: environment input constraints applied by construction
+            (legacy shim; lives on the context).
         backend: frame-simulator backend for fitness evaluation (``"event"``
-            or ``"codegen"``); ``None`` defers to ``REPRO_SIM_BACKEND``.
-        telemetry: metrics recorder (defaults to the shared no-op).
+            or ``"codegen"``); ``None`` defers to ``REPRO_SIM_BACKEND``
+            (legacy shim; lives on the context).
+        telemetry: metrics recorder (legacy shim; lives on the context).
+
+    When the context carries a :class:`~repro.knowledge.StateKnowledge`
+    store, part of the initial GA population is seeded from its pool of
+    previously successful sequences (the rest stays random), and
+    successful all-X-start justifications are recorded back.
     """
 
     def __init__(
         self,
-        circuit: "Circuit | CompiledCircuit",
+        circuit: "Circuit | CompiledCircuit | AtpgContext",
         rng: Optional[random.Random] = None,
         constraints: Optional[InputConstraints] = None,
         backend: Optional[str] = None,
         telemetry: Optional[Recorder] = None,
     ):
-        self.cc = (
-            circuit
-            if isinstance(circuit, CompiledCircuit)
-            else compile_circuit(circuit)
+        self.ctx = AtpgContext.ensure(
+            circuit,
+            constraints=constraints,
+            backend=backend,
+            telemetry=telemetry,
         )
+        self.cc = self.ctx.cc
         self.rng = rng or random.Random()
-        self.telemetry = telemetry or NULL_RECORDER
-        self.backend = resolve_backend(backend)
+        self.telemetry = self.ctx.telemetry
+        self.backend = resolve_backend(self.ctx.backend)
         self.n_pi = len(self.cc.pi)
         self.n_ff = len(self.cc.ff_out)
-        self.constraints = constraints or UNCONSTRAINED
+        self.constraints = self.ctx.constraints
         # pin categories for constrained sequence decoding
         name_of = {i: self.cc.net_names[idx] for i, idx in enumerate(self.cc.pi)}
         self._fixed_pins: Dict[int, int] = {
@@ -105,6 +118,10 @@ class GAStateJustifier:
             pin for pin in range(self.n_pi)
             if name_of[pin] in self.constraints.hold
         }
+
+    @property
+    def knowledge(self) -> Optional[StateKnowledge]:
+        return self.ctx.knowledge
 
     # ------------------------------------------------------------------
     def justify(
@@ -163,12 +180,49 @@ class GAStateJustifier:
             rng=self.rng,
             telemetry=self.telemetry,
         )
+        initial = self._seeded_population(ga, params)
         with self.telemetry.span("ga.justify"):
-            result = ga.run()
+            result = ga.run(initial=initial)
         if result.payload is not None:
             self.telemetry.count("ga.justify.successes")
+            know = self.knowledge
+            if know is not None:
+                # The pool seeds future populations regardless of start
+                # state; the (a) table only takes all-X-start proofs,
+                # which hold from every concrete start state.
+                know.add_seed(result.payload)
+                if current_good_state is None:
+                    know.record_justified(required_good, result.payload)
             return JustifyResult(JustifyStatus.JUSTIFIED, result.payload)
         return JustifyResult(JustifyStatus.BOUNDED)
+
+    def _seeded_population(
+        self, ga: GeneticAlgorithm, params: GAJustifyParams
+    ) -> Optional[List[int]]:
+        """Random population with up to a quarter drawn from knowledge.
+
+        Only *preloaded* stores (sidecar / cross-run reuse) seed
+        populations: sequences learned within the current run stay in
+        the pool for persistence but are not fed back, so a fresh
+        knowledge-enabled run follows the exact GA trajectory of a
+        knowledge-off run.
+        """
+        know = self.knowledge
+        if know is None or not know.preloaded:
+            return None
+        seeds = know.seed_sequences(max(1, params.population_size // 4))
+        if not seeds:
+            return None
+        population = ga.random_population()
+        genomes: List[int] = []
+        for seq in seeds:
+            genome = self.encode(seq, params.seq_len)
+            if genome not in genomes:
+                genomes.append(genome)
+        population[: len(genomes)] = genomes
+        know.stats["ga_seeded"] += len(genomes)
+        self.telemetry.count("ga.justify.seeded", len(genomes))
+        return population
 
     # ------------------------------------------------------------------
     def _state_matches(
@@ -202,6 +256,31 @@ class GAStateJustifier:
                     vec.append((genome >> (base + j)) & 1)
             vectors.append(vec)
         return vectors
+
+    def encode(self, vectors: Sequence[Sequence[int]], seq_len: int) -> int:
+        """Inverse of :meth:`decode`: fold a sequence into a genome.
+
+        Used to seed GA populations from knowledge-pool sequences.  When
+        the sequence is longer than ``seq_len`` the tail is kept (the
+        final vectors are what drive the state); X bits encode as 0.
+        Fixed pins have no genome bits, hold pins take their vector-0
+        value — so decode(encode(s)) satisfies the constraints by
+        construction even when ``s`` predates them.
+        """
+        genome = 0
+        for v, vec in enumerate(list(vectors)[-max(1, seq_len):]):
+            base = v * self.n_pi
+            for j in range(self.n_pi):
+                if j in self._fixed_pins or j >= len(vec):
+                    continue
+                if vec[j] != 1:
+                    continue
+                if j in self._hold_pins:
+                    if v == 0:
+                        genome |= 1 << j
+                else:
+                    genome |= 1 << (base + j)
+        return genome
 
 
 class _SequenceEvaluator:

@@ -32,20 +32,18 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..atpg.constraints import InputConstraints, UNCONSTRAINED
+from ..atpg.context import AtpgContext
 from ..atpg.hitec import SequentialTestGenerator, TestGenStatus
 from ..atpg.justify import JustifyResult, justify_state
 from ..atpg.podem import Limits
-from ..atpg.scoap import compute_testability
 from ..circuit.netlist import Circuit
-from ..faults.collapse import collapse_faults
+from ..clock import monotonic
 from ..faults.model import Fault
 from ..ga.justification import GAJustifyParams, GAStateJustifier
+from ..knowledge import KnowledgeError, StateKnowledge
 from ..simulation import codegen
-from ..simulation.compiled import compile_circuit
 from ..simulation.encoding import X
-from ..simulation.fault_sim import FaultSimulator
 from ..telemetry import (
-    NULL_RECORDER,
     FaultRecord,
     PassReport,
     Recorder,
@@ -85,9 +83,14 @@ class HybridTestGenerator:
         telemetry: metrics/trace recorder shared by every component the
             driver builds; defaults to the shared no-op recorder.
         clock: wall-clock source for every deadline and duration the
-            driver measures (defaults to :func:`time.monotonic`).
+            driver measures (defaults to :data:`repro.clock.monotonic`).
             Injectable so timeout/retry paths are deterministic under test
             and campaign workers can enforce budgets against a fake clock.
+        knowledge: cross-fault state-knowledge reuse.  ``True`` (default)
+            creates a fresh per-run store; a preloaded
+            :class:`~repro.knowledge.StateKnowledge` (e.g. from a campaign
+            sidecar) is used directly after a circuit/fingerprint check;
+            ``False`` disables reuse entirely.
     """
 
     def __init__(
@@ -105,51 +108,62 @@ class HybridTestGenerator:
         jobs: int = 1,
         telemetry: Optional[Recorder] = None,
         clock: Optional[Callable[[], float]] = None,
+        knowledge: "bool | StateKnowledge" = True,
     ):
         self.circuit = circuit
-        self.cc = compile_circuit(circuit)
         self.seed = seed
         self.rng = random.Random(seed)
         self.width = width
-        self.clock = clock or time.monotonic
-        self.telemetry = telemetry or NULL_RECORDER
+        self.clock = clock or monotonic
         if max_frames is None:
             max_frames = min(16, max(4, 2 * circuit.sequential_depth + 2))
         self.max_frames = max_frames
-        self.meas = compute_testability(self.cc)
         self.constraints = constraints or UNCONSTRAINED
         self.constraints.validate(circuit)
-        active_constraints = None if self.constraints.is_trivial else self.constraints
+        # One shared context owns the compiled circuit, testability,
+        # simulator handles, and the knowledge store for every engine
+        # this driver builds.
+        self.ctx = AtpgContext(
+            circuit,
+            constraints=self.constraints,
+            backend=backend,
+            telemetry=telemetry,
+            clock=self.clock,
+            seed=seed,
+        )
+        self.cc = self.ctx.cc
+        self.telemetry = self.ctx.telemetry
+        self.meas = self.ctx.testability
+        if isinstance(knowledge, StateKnowledge):
+            if knowledge.circuit and knowledge.circuit != circuit.name:
+                raise KnowledgeError(
+                    f"knowledge store is for {knowledge.circuit!r}, "
+                    f"not {circuit.name!r}"
+                )
+            if knowledge.fingerprint != self.ctx.knowledge_fingerprint:
+                raise KnowledgeError(
+                    "knowledge store was proven under constraint "
+                    f"environment {knowledge.fingerprint!r}, not "
+                    f"{self.ctx.knowledge_fingerprint!r}"
+                )
+            self.ctx.knowledge = knowledge
+        elif knowledge:
+            self.ctx.make_knowledge()
+        self.knowledge = self.ctx.knowledge
         self.seqgen = SequentialTestGenerator(
-            self.cc,
+            self.ctx,
             max_frames=max_frames,
             max_solutions=max_solutions,
-            testability=self.meas,
-            constraints=active_constraints,
-            backend=backend,
-            telemetry=self.telemetry,
         )
-        self.fault_sim = FaultSimulator(
-            self.cc,
-            width=width,
-            backend=backend,
-            jobs=jobs,
-            telemetry=self.telemetry,
-        )
+        self.fault_sim = self.ctx.fault_simulator(width=width, jobs=jobs)
         self.backend = self.fault_sim.backend
         self.jobs = self.fault_sim.jobs
-        self.ga_justifier = GAStateJustifier(
-            self.cc,
-            rng=self.rng,
-            constraints=active_constraints,
-            backend=backend,
-            telemetry=self.telemetry,
-        )
+        self.ga_justifier = GAStateJustifier(self.ctx, rng=self.rng)
         self.generator_name = generator_name
         self.use_current_state = use_current_state
 
         self.all_faults: List[Fault] = (
-            list(faults) if faults is not None else collapse_faults(circuit)
+            list(faults) if faults is not None else self.ctx.faults
         )
         # mutable run state
         self.remaining: List[Fault] = []
@@ -227,6 +241,11 @@ class HybridTestGenerator:
         )
         self._deadline = deadline
         self.deadline_expired = False
+        knowledge_stats0 = (
+            self.knowledge.snapshot_stats()
+            if self.knowledge is not None
+            else {}
+        )
         self.remaining = list(self.all_faults)
         self.detected = {}
         self.untestable = []
@@ -288,6 +307,13 @@ class HybridTestGenerator:
         result.untestable = list(self.untestable)
         result.blocks = list(self.blocks)
         result.deadline_expired = self.deadline_expired
+        if self.knowledge is not None:
+            result.knowledge_stats = self.knowledge.snapshot_stats()
+            for name, value in result.knowledge_stats.items():
+                delta = value - knowledge_stats0.get(name, 0)
+                if delta:
+                    tel.count(f"knowledge.{name}", delta)
+            tel.observe("knowledge.entries", float(len(self.knowledge)))
         self._finalize_report(report)
         result.report = report
         return result
@@ -440,6 +466,7 @@ class HybridTestGenerator:
                         if self.constraints.is_trivial
                         else self.constraints
                     ),
+                    knowledge=self.knowledge,
                 )
 
         return det_justify

@@ -80,6 +80,8 @@ class RunResult:
         deadline_expired: the run stopped early because the driver's
             wall-clock deadline passed (campaign per-item timeouts);
             committed tests and detections up to that point are kept.
+        knowledge_stats: cross-fault state-knowledge effectiveness
+            counters for this run (empty when knowledge reuse is off).
     """
 
     circuit_name: str
@@ -93,6 +95,7 @@ class RunResult:
     flow: FlowCounters = field(default_factory=FlowCounters)
     report: Optional[RunReport] = None
     deadline_expired: bool = False
+    knowledge_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def fault_coverage(self) -> float:

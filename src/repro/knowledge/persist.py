@@ -1,0 +1,84 @@
+"""Durable ``repro-knowledge/v1`` sidecar files.
+
+A sidecar holds the knowledge of one or more circuits in a single JSON
+document, so a campaign can persist everything its shards learned next to
+the journal and a later run (or a resume) can preload it::
+
+    {
+      "schema": "repro-knowledge/v1",
+      "stores": { "<circuit>": { ...StateKnowledge.to_dict()... }, ... }
+    }
+
+A bare single-store document (``StateKnowledge.to_dict()`` at top level)
+is also accepted on load, so ``repro atpg --knowledge-out`` files round
+trip through the same functions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Mapping, Optional
+
+from .store import KNOWLEDGE_SCHEMA, KnowledgeError, StateKnowledge
+
+
+def save_knowledge(
+    stores: Mapping[str, StateKnowledge], path: str
+) -> None:
+    """Write a multi-circuit knowledge sidecar atomically."""
+    document = {
+        "schema": KNOWLEDGE_SCHEMA,
+        "stores": {
+            name: store.to_dict() for name, store in sorted(stores.items())
+        },
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def load_knowledge(path: str) -> Dict[str, StateKnowledge]:
+    """Load a sidecar into per-circuit stores.
+
+    Accepts both the multi-store sidecar layout and a bare single-store
+    document (keyed by its own ``circuit`` field).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise KnowledgeError(f"{path}: knowledge sidecar must be an object")
+    schema = data.get("schema")
+    if schema != KNOWLEDGE_SCHEMA:
+        raise KnowledgeError(
+            f"{path}: schema must be {KNOWLEDGE_SCHEMA!r}, got {schema!r}"
+        )
+    if "stores" in data:
+        stores = data["stores"]
+        if not isinstance(stores, dict):
+            raise KnowledgeError(f"{path}: 'stores' must be an object")
+        return {
+            name: StateKnowledge.from_dict(doc)
+            for name, doc in stores.items()
+        }
+    store = StateKnowledge.from_dict(data)
+    return {store.circuit or os.path.basename(path): store}
+
+
+def load_store_for(
+    path: Optional[str], circuit: str, fingerprint: str
+) -> Optional[StateKnowledge]:
+    """The sidecar's store for ``circuit``, or None.
+
+    Stores recorded under a different constraint fingerprint are ignored
+    rather than rejected — their facts are simply not valid here.
+    """
+    if path is None:
+        return None
+    stores = load_knowledge(path)
+    store = stores.get(circuit)
+    if store is None or store.fingerprint != fingerprint:
+        return None
+    return store

@@ -30,11 +30,11 @@ A generated kernel looks like::
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Circuit
+from ..clock import perf_counter
 from .compiled import CompiledCircuit, compile_circuit
 from .logic_sim import (
     FrameSimulator,
@@ -228,7 +228,7 @@ def kernel_for(
     key = (injection_signature(injections), writeback)
     fn = cache.get(key)
     if fn is None:
-        t0 = time.perf_counter()
+        t0 = perf_counter()
         source = generate_kernel_source(cc, injections, writeback=writeback)
         namespace: Dict[str, object] = {"__builtins__": {}}
         exec(  # noqa: S102 - source is generated from the netlist, not user input
@@ -237,7 +237,7 @@ def kernel_for(
         fn = namespace["_kernel"]
         cache[key] = fn
         COMPILE_STATS["kernels"] += 1
-        COMPILE_STATS["seconds"] += time.perf_counter() - t0
+        COMPILE_STATS["seconds"] += perf_counter() - t0
         if len(cache) > KERNEL_CACHE_LIMIT:
             cache.popitem(last=False)
     else:

@@ -22,8 +22,9 @@ Metric names are dotted paths; the full catalogue lives in
 from __future__ import annotations
 
 import json
-import time
 from typing import Any, Callable, Dict, List, Optional
+
+from ..clock import perf_counter
 
 
 class Histogram:
@@ -200,7 +201,7 @@ class TelemetryRecorder(Recorder):
     def __init__(
         self,
         trace: bool = False,
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Callable[[], float] = perf_counter,
     ) -> None:
         self.registry = MetricsRegistry()
         self.trace_enabled = trace

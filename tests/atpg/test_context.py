@@ -1,0 +1,90 @@
+"""AtpgContext: shared per-circuit state, built once, coerced anywhere."""
+
+import pytest
+
+from repro.atpg.constraints import InputConstraints
+from repro.atpg.context import AtpgContext
+from repro.atpg.hitec import SequentialTestGenerator
+from repro.circuits import s27, two_stage_pipeline
+from repro.ga.justification import GAStateJustifier
+from repro.simulation.compiled import CompiledCircuit, compile_circuit
+
+
+class TestConstruction:
+    def test_compiles_circuit_once(self):
+        ctx = AtpgContext(s27())
+        assert isinstance(ctx.cc, CompiledCircuit)
+        assert ctx.circuit.name == "s27"
+
+    def test_accepts_precompiled_circuit(self):
+        cc = compile_circuit(s27())
+        ctx = AtpgContext(cc)
+        assert ctx.cc is cc
+
+    def test_ensure_passes_context_through(self):
+        ctx = AtpgContext(s27())
+        assert AtpgContext.ensure(ctx) is ctx
+        # None overrides are the legacy defaults: harmless
+        assert AtpgContext.ensure(ctx, testability=None) is ctx
+
+    def test_ensure_rejects_real_overrides_on_a_context(self):
+        ctx = AtpgContext(s27())
+        with pytest.raises(ValueError, match="cannot override"):
+            AtpgContext.ensure(ctx, seed=7)
+
+
+class TestSharedArtifacts:
+    def test_testability_and_faults_are_cached(self):
+        ctx = AtpgContext(s27())
+        assert ctx.testability is ctx.testability
+        first = ctx.faults
+        assert first == ctx.faults
+        first.clear()  # callers get copies; the cache must survive
+        assert ctx.faults
+
+    def test_fault_simulators_cached_by_shape(self):
+        ctx = AtpgContext(s27())
+        assert ctx.fault_simulator(64, 1) is ctx.fault_simulator(64, 1)
+        assert ctx.fault_simulator(64, 1) is not ctx.fault_simulator(32, 1)
+        assert ctx.verifier() is ctx.fault_simulator(1, 1)
+
+    def test_rng_streams_are_deterministic_and_distinct(self):
+        a, b = AtpgContext(s27(), seed=5), AtpgContext(s27(), seed=5)
+        assert a.rng("ga").random() == b.rng("ga").random()
+        assert a.rng("ga").random() != a.rng("hitec").random()
+        assert (
+            AtpgContext(s27(), seed=6).rng("ga").random()
+            != b.rng("ga").random()
+        )
+
+
+class TestConstraintsAndKnowledge:
+    def test_trivial_constraints_normalise_away(self):
+        ctx = AtpgContext(s27())
+        assert ctx.active_constraints is None
+        assert ctx.knowledge_fingerprint == "unconstrained"
+        ctx2 = AtpgContext(s27(), constraints=InputConstraints())
+        assert ctx2.active_constraints is None
+
+    def test_make_knowledge_matches_environment(self):
+        pinned = InputConstraints(fixed={"G0": 0})
+        ctx = AtpgContext(two_stage_pipeline(), constraints=pinned)
+        store = ctx.make_knowledge()
+        assert ctx.knowledge is store
+        assert store.circuit == "pipe2"
+        assert store.fingerprint == ctx.knowledge_fingerprint != "unconstrained"
+
+
+class TestEngineSharing:
+    def test_engines_built_on_one_context_share_state(self):
+        ctx = AtpgContext(s27(), seed=3)
+        seqgen = SequentialTestGenerator(ctx)
+        ga = GAStateJustifier(ctx)
+        assert seqgen.ctx is ctx
+        assert ga.ctx is ctx
+        assert seqgen.meas is ctx.testability
+
+    def test_legacy_circuit_argument_still_works(self):
+        seqgen = SequentialTestGenerator(s27())
+        assert isinstance(seqgen.ctx, AtpgContext)
+        assert seqgen.ctx.circuit.name == "s27"
