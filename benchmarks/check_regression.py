@@ -8,12 +8,23 @@ Usage::
 The benchmark job regenerates ``BENCH_simulation.json`` by running the
 parallelism/backend ablation, then calls this script with the fresh file
 and the baseline committed at the repository root.  The gate fails (exit
-status 1) when the fresh codegen-vs-event speedup at width 64 drops below
-``--min-ratio`` of the baseline's — i.e. the generated kernels lost a
-meaningful fraction of their advantage.  Raw per-width timings are printed
+status 1) when:
+
+* the fresh codegen-vs-event speedup at width 64 drops below
+  ``--min-ratio`` of the baseline's — i.e. the generated kernels lost a
+  meaningful fraction of their advantage;
+* the numpy backend's distinct-shape grading speedup over codegen falls
+  below ``--min-numpy-speedup`` (absolute, default 3.0) — the vectorized
+  backend's headline claim;
+* a warm kernel-cache pass reports any compilations — a warm start must
+  skip compilation entirely.
+
+The numpy gates only apply when the fresh file carries the corresponding
+keys (the benchmark ran with numpy installed); baselines produced before
+those metrics existed are tolerated.  Raw per-width timings are printed
 for context but not gated: absolute seconds vary with runner hardware,
-while the codegen/event *ratio* is measured on the same machine in the
-same run and is therefore stable.
+while backend *ratios* are measured on the same machine in the same run
+and are therefore stable.
 """
 
 from __future__ import annotations
@@ -26,6 +37,14 @@ from typing import Any, Dict
 #: Key of the gated headline metric inside ``BENCH_simulation.json``.
 SPEEDUP_KEY = "codegen_speedup_width64"
 
+#: Key of the numpy grading-workload metric (absent on numpy-less runs
+#: and on baselines predating the numpy backend).
+NUMPY_SPEEDUP_KEY = "numpy_grade_speedup_width256"
+
+#: Keys of the persistent-cache compile counts.
+COLD_COMPILES_KEY = "kernel_compiles_cold"
+WARM_COMPILES_KEY = "kernel_compiles_warm"
+
 
 def load(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as handle:
@@ -33,12 +52,16 @@ def load(path: str) -> Dict[str, Any]:
 
 
 def compare(
-    new: Dict[str, Any], baseline: Dict[str, Any], min_ratio: float
+    new: Dict[str, Any],
+    baseline: Dict[str, Any],
+    min_ratio: float,
+    min_numpy_speedup: float = 3.0,
 ) -> int:
     """Print the comparison; return a process exit status."""
     new_speedup = float(new[SPEEDUP_KEY])
     base_speedup = float(baseline[SPEEDUP_KEY])
     ratio = new_speedup / base_speedup if base_speedup else float("inf")
+    failures = []
 
     print(f"benchmark regression gate ({new.get('circuit', '?')}):")
     for backend in new.get("backends", []):
@@ -61,11 +84,39 @@ def compare(
         f"floor {min_ratio:.2f})"
     )
     if ratio < min_ratio:
-        print(
-            f"  FAIL: speedup ratio {ratio:.2f} fell below the "
-            f"{min_ratio:.2f}x floor — the codegen backend regressed "
-            "relative to the event backend"
+        failures.append(
+            f"speedup ratio {ratio:.2f} fell below the {min_ratio:.2f}x "
+            "floor — the codegen backend regressed relative to the event "
+            "backend"
         )
+
+    if NUMPY_SPEEDUP_KEY in new:
+        numpy_speedup = float(new[NUMPY_SPEEDUP_KEY])
+        print(
+            f"  numpy grading speedup over codegen: {numpy_speedup:.2f}x "
+            f"(floor {min_numpy_speedup:.2f})"
+        )
+        if numpy_speedup < min_numpy_speedup:
+            failures.append(
+                f"numpy grading speedup {numpy_speedup:.2f} fell below "
+                f"the {min_numpy_speedup:.2f}x floor"
+            )
+    else:
+        print("  numpy grading speedup: not measured (numpy absent)")
+
+    if WARM_COMPILES_KEY in new:
+        cold = int(new.get(COLD_COMPILES_KEY, 0))
+        warm = int(new[WARM_COMPILES_KEY])
+        print(f"  kernel cache: {cold} cold compiles, {warm} warm")
+        if warm != 0:
+            failures.append(
+                f"warm kernel-cache pass compiled {warm} kernels "
+                "(expected 0)"
+            )
+
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if failures:
         return 1
     print("  PASS")
     return 0
@@ -81,8 +132,19 @@ def main(argv=None) -> int:
         default=0.8,
         help="minimum new/baseline speedup ratio (default 0.8)",
     )
+    parser.add_argument(
+        "--min-numpy-speedup",
+        type=float,
+        default=3.0,
+        help="minimum numpy-over-codegen grading speedup (default 3.0)",
+    )
     args = parser.parse_args(argv)
-    return compare(load(args.new), load(args.baseline), args.min_ratio)
+    return compare(
+        load(args.new),
+        load(args.baseline),
+        args.min_ratio,
+        args.min_numpy_speedup,
+    )
 
 
 if __name__ == "__main__":

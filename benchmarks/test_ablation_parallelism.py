@@ -7,10 +7,20 @@ word width grows, confirming the design choice the paper inherits from
 PROOFS: wider words amortise the per-gate interpretation cost across
 patterns.
 
-Each width is measured under both simulation backends — the event-driven
-interpreter and the generated straight-line kernels — and the comparison
-is written both as a rendered table (``benchmarks/out/``) and as
-machine-readable ``BENCH_simulation.json`` at the repository root.
+Each width is measured under all three simulation backends — the
+event-driven interpreter, the generated straight-line kernels, and the
+vectorized numpy matrix sweep — and the comparison is written both as a
+rendered table (``benchmarks/out/``) and as machine-readable
+``BENCH_simulation.json`` at the repository root.
+
+Two further metrics target the numpy backend's reason for existing:
+
+* the *grading* workload — several fault batches of **distinct** shapes
+  graded cold (fresh process state), the regime of
+  ``FaultSimulator.grade_blocks`` and campaign merge, where codegen must
+  exec-compile a kernel per shape while one numpy program serves all;
+* the *cold vs warm* kernel-cache comparison — with a persistent cache
+  directory, a warm process must report **zero** compilations.
 """
 
 from __future__ import annotations
@@ -23,17 +33,36 @@ import pytest
 
 from repro.circuits import iscas89
 from repro.faults.collapse import collapse_faults
+from repro.simulation import kernel_cache
+from repro.simulation.codegen import COMPILE_STATS
+from repro.simulation.compiled import compile_circuit
 from repro.simulation.fault_sim import FaultSimulator
 
 from .conftest import write_artifact
 
-WIDTHS = [1, 8, 32, 64, 256]
-BACKENDS = ["event", "codegen"]
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+WIDTHS = [1, 8, 32, 64, 256, 1024]
+BACKENDS = ["event", "codegen"] + (["numpy"] if HAVE_NUMPY else [])
 
 CIRCUIT = "s298"
 N_VECTORS = 64
 
+#: Distinct-shape grading workload: fault-batch sizes and frames per
+#: block.  Each batch has a different injection signature, so the
+#: codegen backend compiles a fresh kernel per batch while the numpy
+#: backend reuses its one per-circuit program.
+GRADE_SIZES = [246, 243, 123, 37]
+GRADE_FRAMES = 16
+GRADE_WIDTH = 256
+
 _rows = {}
+_grade = {}
 
 
 def _workload():
@@ -68,11 +97,80 @@ def test_fault_sim_width(benchmark, backend, width):
         vectors[:8], faults[:20], stop_on_all_detected=False
     )
     assert set(baseline.detected) == set(wide.detected)
-    if len(_rows) == len(WIDTHS) * len(BACKENDS):
+    if len(_rows) == len(WIDTHS) * len(BACKENDS) and len(_grade) == len(
+        BACKENDS
+    ):
         _render()
 
 
+def _grade_workload():
+    circuit = iscas89(CIRCUIT)
+    faults = collapse_faults(circuit)
+    rng = random.Random(5)
+    sizes = [min(n, len(faults)) for n in GRADE_SIZES]
+    blocks = [
+        [[rng.getrandbits(1) for _ in circuit.inputs]
+         for _ in range(GRADE_FRAMES)]
+        for _ in sizes
+    ]
+    batches = [faults[:n] for n in sizes]
+    return blocks, batches
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fault_sim_grading(benchmark, backend):
+    """Cold distinct-shape grading: the campaign-merge regime."""
+    blocks, batches = _grade_workload()
+
+    def run():
+        # a fresh compiled circuit per round reproduces per-process cold
+        # state: codegen recompiles every batch shape, numpy rebuilds one
+        # program
+        cc = compile_circuit(iscas89(CIRCUIT))
+        sim = FaultSimulator(cc, width=GRADE_WIDTH, backend=backend)
+        for block, batch in zip(blocks, batches):
+            sim.run(block, batch, stop_on_all_detected=False)
+
+    benchmark.pedantic(run, iterations=1, rounds=7, warmup_rounds=1)
+    _grade[backend] = benchmark.stats.stats.mean
+    if len(_rows) == len(WIDTHS) * len(BACKENDS) and len(_grade) == len(
+        BACKENDS
+    ):
+        _render()
+
+
+def _measure_cache_warmup(tmp_dir):
+    """(cold compiles, warm compiles) with a persistent kernel cache."""
+
+    def one_pass():
+        from repro.simulation import numpy_backend
+
+        compiles0 = COMPILE_STATS["kernels"]
+        programs0 = numpy_backend.PROGRAM_STATS["programs"]
+        blocks, batches = _grade_workload()
+        for backend in ("codegen", "numpy") if HAVE_NUMPY else ("codegen",):
+            cc = compile_circuit(iscas89(CIRCUIT))
+            sim = FaultSimulator(cc, width=GRADE_WIDTH, backend=backend)
+            sim.run(blocks[0], batches[0], stop_on_all_detected=False)
+        return int(
+            COMPILE_STATS["kernels"]
+            - compiles0
+            + numpy_backend.PROGRAM_STATS["programs"]
+            - programs0
+        )
+
+    kernel_cache.configure(str(tmp_dir))
+    try:
+        cold = one_pass()
+        warm = one_pass()  # fresh compiled circuits, populated cache
+    finally:
+        kernel_cache.configure(None)
+    return cold, warm
+
+
 def _render():
+    import tempfile
+
     circuit, faults, vectors = _workload()
     base = _rows[("event", 1)]
     lines = [f"Fault-simulation word-width ablation — {CIRCUIT} stand-in:"]
@@ -97,6 +195,33 @@ def _render():
         f"  [{verdict}] codegen kernels are {codegen_speedup:.2f}x faster "
         "than the event backend at width 64 (target: 3x)"
     )
+
+    lines.append(
+        f"  distinct-shape grading ({len(GRADE_SIZES)} cold batches, "
+        f"width {GRADE_WIDTH}):"
+    )
+    for backend in BACKENDS:
+        lines.append(
+            f"    {backend:>8s}: {_grade[backend] * 1e3:8.1f} ms"
+        )
+    numpy_grade_speedup = None
+    if "numpy" in _grade:
+        numpy_grade_speedup = _grade["codegen"] / _grade["numpy"]
+        verdict = "PASS" if numpy_grade_speedup >= 3.0 else "FAIL"
+        lines.append(
+            f"  [{verdict}] numpy grades distinct shapes "
+            f"{numpy_grade_speedup:.2f}x faster than codegen at width "
+            f"{GRADE_WIDTH} (target: 3x)"
+        )
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        cold_compiles, warm_compiles = _measure_cache_warmup(tmp_dir)
+    verdict = "PASS" if cold_compiles > 0 and warm_compiles == 0 else "FAIL"
+    lines.append(
+        f"  [{verdict}] persistent kernel cache: {cold_compiles} cold "
+        f"compiles, {warm_compiles} warm (target: 0 warm)"
+    )
+
     text = "\n".join(lines)
     print("\n" + text)
     write_artifact("ablation_parallelism.txt", text)
@@ -112,7 +237,14 @@ def _render():
             for backend in BACKENDS
         },
         "codegen_speedup_width64": codegen_speedup,
+        "grade_seconds": {b: _grade[b] for b in BACKENDS},
+        "grade_width": GRADE_WIDTH,
+        "grade_batches": len(GRADE_SIZES),
+        "kernel_compiles_cold": cold_compiles,
+        "kernel_compiles_warm": warm_compiles,
     }
+    if numpy_grade_speedup is not None:
+        payload["numpy_grade_speedup_width256"] = numpy_grade_speedup
     Path(__file__).parent.parent.joinpath("BENCH_simulation.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )

@@ -333,11 +333,18 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 
 def _add_sim_options(p: argparse.ArgumentParser) -> None:
     """Simulation-backend options shared by the simulating commands."""
-    p.add_argument("--backend", choices=["event", "codegen"], default=None,
+    p.add_argument("--backend", choices=["event", "codegen", "numpy"],
+                   default=None,
                    help="simulation backend (default: $REPRO_SIM_BACKEND "
-                        "or 'event'; 'codegen' compiles per-circuit kernels)")
+                        "or 'event'; 'codegen' compiles per-circuit kernels; "
+                        "'numpy' runs a vectorized matrix sweep and falls "
+                        "back to codegen when numpy is unavailable)")
     p.add_argument("--jobs", type=int, default=1,
                    help="fault-simulation worker processes (default 1)")
+    p.add_argument("--kernel-cache", metavar="DIR", default=None,
+                   help="persist compiled kernels/programs under DIR so warm "
+                        "runs and campaign workers skip compilation "
+                        "(default: $REPRO_KERNEL_CACHE, unset disables)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -434,7 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--backtracks", type=int, default=100)
     cp.add_argument("--baseline", action="store_true",
                     help="run the HITEC baseline instead of GA-HITEC")
-    cp.add_argument("--backend", choices=["event", "codegen"], default=None)
+    cp.add_argument("--backend", choices=["event", "codegen", "numpy"],
+                    default=None)
+    cp.add_argument("--kernel-cache", metavar="DIR", default=None,
+                    help="persist compiled kernels under DIR (workers "
+                         "inherit it via $REPRO_KERNEL_CACHE)")
     cp.add_argument("--fault-limit", type=int, default=None,
                     help="cap each circuit's fault list (smoke tests)")
     cp.add_argument("--item-timeout", type=float, default=None,
@@ -488,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernel_cache", None):
+        from .simulation import kernel_cache
+
+        kernel_cache.configure(args.kernel_cache)
     return args.func(args)
 
 

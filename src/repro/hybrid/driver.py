@@ -28,6 +28,7 @@ operations per fault.
 from __future__ import annotations
 
 import random
+import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -41,7 +42,7 @@ from ..clock import monotonic
 from ..faults.model import Fault
 from ..ga.justification import GAJustifyParams, GAStateJustifier
 from ..knowledge import KnowledgeError, StateKnowledge
-from ..simulation import codegen
+from ..simulation import codegen, kernel_cache
 from ..simulation.encoding import X
 from ..telemetry import (
     FaultRecord,
@@ -52,6 +53,21 @@ from ..telemetry import (
 )
 from .passes import GA, PassConfig
 from .results import PassStats, RunResult
+
+
+def _kernel_compile_totals() -> tuple[int, float]:
+    """Total kernel/program compilations across simulation backends.
+
+    The numpy backend is only consulted when already imported so that
+    reporting never forces a numpy import on codegen/event runs.
+    """
+    count = int(codegen.COMPILE_STATS["kernels"])
+    seconds = float(codegen.COMPILE_STATS["seconds"])
+    npb = sys.modules.get("repro.simulation.numpy_backend")
+    if npb is not None:
+        count += int(npb.PROGRAM_STATS["programs"])
+        seconds += float(npb.PROGRAM_STATS["seconds"])
+    return count, seconds
 
 
 class HybridTestGenerator:
@@ -264,8 +280,11 @@ class HybridTestGenerator:
             jobs=self.jobs,
             width=self.width,
         )
-        compiles0 = codegen.COMPILE_STATS["kernels"]
-        compile_s0 = codegen.COMPILE_STATS["seconds"]
+        compiles0, compile_s0 = _kernel_compile_totals()
+        cache0 = kernel_cache.stats_snapshot()
+        cache_counted0 = {
+            name: tel.value(f"sim.kernel_cache.{name}") for name in cache0
+        }
         wall0 = self.clock()
         cpu0 = time.process_time()
         for cfg in schedule:
@@ -299,8 +318,19 @@ class HybridTestGenerator:
 
         report.wall_time_s = self.clock() - wall0
         report.cpu_time_s = time.process_time() - cpu0
-        report.kernel_compiles = int(codegen.COMPILE_STATS["kernels"] - compiles0)
-        report.kernel_compile_s = codegen.COMPILE_STATS["seconds"] - compile_s0
+        compiles1, compile_s1 = _kernel_compile_totals()
+        report.kernel_compiles = compiles1 - compiles0
+        report.kernel_compile_s = compile_s1 - compile_s0
+        # cache loads can happen at simulator construction, outside any
+        # FaultSimulator.run window; count whatever the fault simulators
+        # have not already attributed to this recorder
+        for name, before in cache0.items():
+            total = kernel_cache.CACHE_STATS[name] - before
+            counted = (
+                tel.value(f"sim.kernel_cache.{name}") - cache_counted0[name]
+            )
+            if total > counted:
+                tel.count(f"sim.kernel_cache.{name}", total - counted)
 
         result.test_set = list(self.test_set)
         result.detected = dict(self.detected)

@@ -30,11 +30,14 @@ A generated kernel looks like::
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
+from types import CodeType
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Circuit
 from ..clock import perf_counter
+from . import kernel_cache
 from .compiled import CompiledCircuit, compile_circuit
 from .logic_sim import (
     FrameSimulator,
@@ -45,6 +48,9 @@ from .logic_sim import (
 
 #: Kernels cached per compiled circuit; evicted LRU beyond this many shapes.
 KERNEL_CACHE_LIMIT = 256
+
+#: Disk-cache format version for marshalled kernel code objects.
+KERNEL_CACHE_VERSION = 1
 
 #: Process-cumulative kernel compilation statistics.  The telemetry layer
 #: snapshots this around a campaign (reading deltas), so compile cost is
@@ -218,26 +224,51 @@ def kernel_for(
     """The compiled sweep kernel for one canonical injection shape.
 
     Cached on the compiled circuit itself (LRU, bounded by
-    :data:`KERNEL_CACHE_LIMIT`), so the cache's lifetime is the circuit's.
+    :data:`KERNEL_CACHE_LIMIT`), so the in-memory cache's lifetime is the
+    circuit's.  When the persistent kernel cache is enabled
+    (:mod:`repro.simulation.kernel_cache`), a memory miss first tries the
+    disk entry — a marshalled code object, keyed by circuit fingerprint,
+    injection signature, and the interpreter's bytecode tag — and only a
+    disk miss pays source generation and ``exec``-compilation.
     """
     cache: "OrderedDict[Tuple[Signature, Optional[frozenset]], Callable[..., None]]"
     cache = getattr(cc, _CACHE_ATTR, None)
     if cache is None:
         cache = OrderedDict()
         setattr(cc, _CACHE_ATTR, cache)
-    key = (injection_signature(injections), writeback)
+    signature = injection_signature(injections)
+    key = (signature, writeback)
     fn = cache.get(key)
     if fn is None:
-        t0 = perf_counter()
-        source = generate_kernel_source(cc, injections, writeback=writeback)
+        disk_key = None
+        code = None
+        if kernel_cache.cache_dir() is not None:
+            disk_key = kernel_cache.entry_key(
+                "codegen-kernel",
+                (KERNEL_CACHE_VERSION, sys.implementation.cache_tag),
+                kernel_cache.circuit_fingerprint(cc),
+                (
+                    signature,
+                    None if writeback is None else tuple(sorted(writeback)),
+                ),
+            )
+            code = kernel_cache.load(disk_key)
+            if code is not None and not isinstance(code, CodeType):
+                code = None  # foreign payload under our key: recompile
+        if code is None:
+            t0 = perf_counter()
+            source = generate_kernel_source(
+                cc, injections, writeback=writeback
+            )
+            code = compile(source, f"<codegen:{cc.circuit.name}>", "exec")
+            COMPILE_STATS["kernels"] += 1
+            COMPILE_STATS["seconds"] += perf_counter() - t0
+            if disk_key is not None:
+                kernel_cache.store(disk_key, code)
         namespace: Dict[str, object] = {"__builtins__": {}}
-        exec(  # noqa: S102 - source is generated from the netlist, not user input
-            compile(source, f"<codegen:{cc.circuit.name}>", "exec"), namespace
-        )
+        exec(code, namespace)  # noqa: S102 - netlist-generated, integrity-checked source
         fn = namespace["_kernel"]
         cache[key] = fn
-        COMPILE_STATS["kernels"] += 1
-        COMPILE_STATS["seconds"] += perf_counter() - t0
         if len(cache) > KERNEL_CACHE_LIMIT:
             cache.popitem(last=False)
     else:

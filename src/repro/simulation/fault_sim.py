@@ -21,6 +21,7 @@ from ..circuit.gates import GateType
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from ..telemetry import NULL_RECORDER, Recorder
+from . import kernel_cache
 from .compiled import CompiledCircuit, compile_circuit
 from .encoding import PackedValue, X, full_mask, pack_const, unpack
 from .logic_sim import FrameSimulator, Injection, make_simulator, resolve_backend
@@ -153,11 +154,16 @@ class FaultSimulator:
     Args:
         circuit: circuit or compiled circuit to simulate.
         width: number of faults packed per pass (word width).
-        backend: frame-simulator backend (``"event"`` or ``"codegen"``);
-            ``None`` defers to ``REPRO_SIM_BACKEND`` / the default.
+        backend: frame-simulator backend (``"event"``, ``"codegen"``, or
+            ``"numpy"``); ``None`` defers to ``REPRO_SIM_BACKEND`` / the
+            default.  ``"numpy"`` silently degrades to ``"codegen"`` when
+            numpy is not installed.
         jobs: worker processes for :meth:`run`; 1 (the default) runs
             in-process, >1 shards fault batches across forked workers on
-            platforms that support ``fork`` (in-process fallback elsewhere).
+            platforms that support ``fork`` (in-process fallback
+            elsewhere).  The ``numpy`` backend always runs in-process —
+            matrix vectorization replaces sharding, with identical
+            results.
         telemetry: metrics recorder (defaults to the shared no-op).
             Frame counters from forked shard workers are not merged back;
             sharded runs record batch counts only.
@@ -227,31 +233,55 @@ class FaultSimulator:
         """
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         result = FaultSimResult()
+        cache0 = kernel_cache.stats_snapshot()
         with self.telemetry.span("sim.fault_sim"):
-            result.good_outputs, result.good_state = self.simulate_good(
-                vectors, good_state
-            )
             if fault_states is None:
                 fault_states = {}
             if record_signatures:
                 stop_on_all_detected = False
-
-            frames = _pack_frames(vectors, self.width)
-            batches = [
-                list(faults[start : start + self.width])
-                for start in range(0, len(faults), self.width)
-            ]
             self.telemetry.count("sim.runs")
             self.telemetry.count("sim.faults", len(faults))
-            self.telemetry.count("sim.batches", len(batches))
-            if jobs > 1 and len(batches) > 1 and _fork_available():
-                self._run_sharded(frames, batches, fault_states, result,
-                                  stop_on_all_detected, record_signatures,
-                                  jobs)
+            if self.backend == "numpy":
+                # whole-run vectorized path: the good machine rides in
+                # slot 0 of each chunk, detection is computed post-hoc
+                # from recorded output planes, and ``jobs`` is ignored —
+                # in-process vectorization replaces process sharding with
+                # identical results
+                from .numpy_backend import run_fault_sim
+
+                frames_run = run_fault_sim(
+                    self, vectors, faults, good_state, fault_states,
+                    result, record_signatures,
+                )
+                self.telemetry.count("sim.good_frames", len(vectors))
+                self.telemetry.count("sim.frames", frames_run)
+                self.telemetry.count(
+                    "sim.batches",
+                    max(1, -(-len(faults) // self.width)) if faults else 1,
+                )
             else:
-                for batch in batches:
-                    self._run_batch(frames, batch, fault_states, result,
-                                    stop_on_all_detected, record_signatures)
+                result.good_outputs, result.good_state = self.simulate_good(
+                    vectors, good_state
+                )
+                frames = _pack_frames(vectors, self.width)
+                batches = [
+                    list(faults[start : start + self.width])
+                    for start in range(0, len(faults), self.width)
+                ]
+                self.telemetry.count("sim.batches", len(batches))
+                if jobs > 1 and len(batches) > 1 and _fork_available():
+                    self._run_sharded(frames, batches, fault_states, result,
+                                      stop_on_all_detected,
+                                      record_signatures, jobs)
+                else:
+                    for batch in batches:
+                        self._run_batch(frames, batch, fault_states, result,
+                                        stop_on_all_detected,
+                                        record_signatures)
+        for name in ("hits", "misses", "corrupt"):
+            delta = kernel_cache.CACHE_STATS[name] - cache0[name]
+            if delta:
+                self.telemetry.count(f"sim.kernel_cache.{name}", delta)
         return result
 
     # ------------------------------------------------------------------

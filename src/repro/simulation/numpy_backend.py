@@ -1,0 +1,982 @@
+"""Vectorized numpy simulation backend: whole-matrix levelized sweeps.
+
+The ``numpy`` backend lowers the levelized combinational sweep into a
+handful of array operations per logic level over a ``(rows × words)``
+uint64 matrix that holds every net's three-valued value across all
+pattern slots at once — one gate-level operation covers thousands of
+patterns *and* a whole fault batch.
+
+Representation.  Each net owns four consecutive matrix rows: the PROOFS
+planes and their complements ``p1, ~p1, p0, ~p0``.  Materializing the
+complements makes every non-parity gate a pure AND-reduction by
+De Morgan duality (``OR(a…) = ~AND(~a…)``), so one level of the sweep is
+exactly: one row gather, one chained ``bitwise_and`` reduction, one
+complement, one scatter.  Unused gather slots pad with the constant-ones
+row (the AND identity), so mixed-arity levels vectorize uniformly.
+XOR/XNOR cannot be a single AND-reduction; levels containing parity
+gates run a short per-gate fold after the vectorized group (the ISCAS
+benchmark circuits contain none — the path exists for generality and the
+hypothesis differential suite).
+
+Fault injection is *data*, not code: stuck-at forces become dense
+OR/AND mask planes applied to the gather buffer (branch faults — one
+gate's private view of an input net) or to the reduction result (stem
+faults).  One compiled :class:`NumpyProgram` per circuit therefore
+serves **every** injection shape, where the ``codegen`` backend must
+exec-compile a fresh kernel per injection signature (milliseconds per
+shape).  That makes this backend the fast path for workloads whose
+injection shape changes every call — ``FaultSimulator.grade_blocks``,
+campaign merge re-grading, incremental ATPG loops — and makes the
+program trivially persistable: :func:`program_for` stores it through
+:mod:`repro.simulation.kernel_cache`, so warm processes skip the build
+entirely.
+
+numpy is an optional dependency.  The module imports cleanly without
+it, but constructing a simulator raises
+:class:`~repro.simulation.logic_sim.BackendUnavailableError` and the
+backend registry silently falls back to ``codegen``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # registration below is skipped; resolve_backend falls back
+    np = None  # type: ignore[assignment]
+
+from ..clock import perf_counter
+from .compiled import CompiledCircuit
+from .encoding import X, full_mask
+from . import kernel_cache
+from .logic_sim import (
+    BackendUnavailableError,
+    FrameSimulator,
+    Injection,
+    register_backend,
+)
+
+#: Process-cumulative sweep-program build statistics; the disk-cache and
+#: telemetry layers read deltas, mirroring ``codegen.COMPILE_STATS``.
+PROGRAM_STATS: Dict[str, float] = {"programs": 0, "seconds": 0.0}
+
+#: Serialized-program format version (part of the disk-cache key).
+PROGRAM_CACHE_VERSION = 1
+
+#: Attribute caching the program on a CompiledCircuit instance.
+_CACHE_ATTR = "_numpy_program"
+
+# Plane offsets within a net's four matrix rows.
+P1, N1, P0, N0 = 0, 1, 2, 3
+
+#: Per gate code: source plane and direct target plane for the two
+#: AND-reductions (P, Q) that produce the gate's value.  The reduction
+#: result lands in its *direct* row and its complement in the paired row
+#: (p1↔~p1, p0↔~p0), e.g. NAND's 1-plane is ``OR(a0…) = ~AND(~a0…)``, so
+#: P reduces the ``~p0`` rows and writes directly to ``~p1``.
+_PLANE: Dict[int, Tuple[int, int, int, int]] = {
+    0: (P1, P1, N0, N0),  # AND:  p1 = AND(a1)        ~p0 = AND(~a0)
+    1: (N0, N1, P1, P0),  # NAND: ~p1 = AND(~a0)       p0 = AND(a1)
+    2: (N1, N1, P0, P0),  # OR:   ~p1 = AND(~a1)       p0 = AND(a0)
+    3: (P0, P1, N1, N0),  # NOR:  p1 = AND(a0)        ~p0 = AND(~a1)
+    6: (P0, P1, P1, P0),  # NOT:  p1 = a0              p0 = a1
+    7: (P1, P1, P0, P0),  # BUF:  p1 = a1              p0 = a0
+}
+
+#: Complement-row pairing.
+_PAIR = {P1: N1, N1: P1, P0: N0, N0: P0}
+
+_FULL = 0xFFFFFFFFFFFFFFFF
+
+#: uint64 single-bit constants, indexed by bit position — the per-slot
+#: binding fast path writes these as scalars instead of building a full
+#: word-mask array per injection.
+_BIT_TAB = (
+    None
+    if np is None
+    else (np.uint64(1) << np.arange(64, dtype=np.uint64))
+)
+
+#: Attribute caching per-fault force routing on a CompiledCircuit.
+_OPS_ATTR = "_numpy_fault_ops"
+
+
+def _require_numpy() -> Any:
+    """The numpy module, or a :class:`BackendUnavailableError`."""
+    if np is None:
+        raise BackendUnavailableError(
+            "the numpy simulation backend requires numpy "
+            "(install the 'numpy' extra or choose another backend)"
+        )
+    return np
+
+
+def _int_array(values: Sequence[int]) -> "np.ndarray":
+    return np.asarray(list(values), dtype=np.intp)
+
+
+class _LevelProgram:
+    """One logic level of the compiled sweep (pure data)."""
+
+    __slots__ = ("K", "G", "idx", "scat", "rnr_pos", "xors")
+
+    def __init__(
+        self,
+        K: int,
+        G: int,
+        idx: "Optional[np.ndarray]",
+        scat: "Optional[np.ndarray]",
+        rnr_pos: Dict[int, Tuple[int, int, int, int]],
+        xors: List[Tuple[int, int, bool, Tuple[int, ...]]],
+    ) -> None:
+        self.K = K
+        self.G = G
+        self.idx = idx  # (K * 2G,) gather rows, pin-major
+        self.scat = scat  # (4G,) target rows for [R..., ~R...]
+        #: gate-output net -> its four result-buffer positions, plane order
+        self.rnr_pos = rnr_pos
+        #: parity gates: (gate_pos, out_net, is_xnor, fanin)
+        self.xors = xors
+
+
+class NumpyProgram:
+    """The injection-independent compiled sweep for one circuit.
+
+    Built once per circuit (and persisted via the kernel cache): the
+    row layout, the per-level gather/scatter index arrays, and the site
+    maps injection binding needs.  Holds no simulation state and no
+    masks — every width and every fault batch binds the same program.
+    """
+
+    def __init__(self, cc: CompiledCircuit) -> None:
+        n = cc.num_nets
+        pi = list(cc.pi)
+        ffo = list(cc.ff_out)
+        source_block = pi + ffo
+        seen = set(source_block)
+        order = source_block + [i for i in range(n) if i not in seen]
+        base = np.empty(n, dtype=np.intp)
+        for pos, net in enumerate(order):
+            base[net] = 4 * pos
+        self.base = base
+        self.n_nets = n
+        self.ones_row = 4 * n
+        self.zeros_row = 4 * n + 1
+        self.n_rows = 4 * n + 2
+        self.pi_hi = 4 * len(pi)
+        self.ffo_lo = self.pi_hi
+        self.src_hi = 4 * len(source_block)
+        self.po_rows = _int_array(
+            [base[i] + p for i in cc.po for p in (P1, P0)]
+        )
+        self.ffin_rows = _int_array(
+            [base[i] + p for i in cc.ff_in for p in (P1, N1, P0, N0)]
+        )
+        #: gate position ->
+        #: ("u", level_index, result_row) | ("x", level_index, xor_index)
+        self.posmap: Dict[int, Tuple[str, int, int]] = {}
+        self.levels: List[_LevelProgram] = []
+        self._build_levels(cc)
+
+    # -- construction --------------------------------------------------
+    def _build_levels(self, cc: CompiledCircuit) -> None:
+        by_level: Dict[int, List[Tuple[int, Any]]] = {}
+        for pos, gate in enumerate(cc.gates):
+            by_level.setdefault(gate.level, []).append((pos, gate))
+        base, ones, zeros = self.base, self.ones_row, self.zeros_row
+        for level in sorted(by_level):
+            gates = by_level[level]
+            unified = [(p, g) for p, g in gates if g.code not in (4, 5)]
+            xors: List[Tuple[int, int, bool, Tuple[int, ...]]] = []
+            for pos, gate in gates:
+                if gate.code in (4, 5):
+                    self.posmap[pos] = ("x", len(self.levels), len(xors))
+                    xors.append(
+                        (pos, gate.out, gate.code == 5, tuple(gate.fanin))
+                    )
+            G = len(unified)
+            idx = scat = None
+            rnr_pos: Dict[int, Tuple[int, int, int, int]] = {}
+            K = 1
+            if G:
+                K = max(
+                    max((len(g.fanin) for _, g in unified), default=1), 1
+                )
+                idx2 = np.full((2 * G, K), ones, dtype=np.intp)
+                scat = np.empty(4 * G, dtype=np.intp)
+                for r, (pos, gate) in enumerate(unified):
+                    self.posmap[pos] = ("u", len(self.levels), r)
+                    out_base = base[gate.out]
+                    code = gate.code
+                    if code >= 8:  # CONST0 / CONST1 read the aux rows
+                        idx2[r, 0] = ones if code == 9 else zeros
+                        idx2[G + r, 0] = zeros if code == 9 else ones
+                        dp, dq = P1, P0
+                    else:
+                        sp, dp, sq, dq = _PLANE[code]
+                        for k, src in enumerate(gate.fanin):
+                            idx2[r, k] = base[src] + sp
+                            idx2[G + r, k] = base[src] + sq
+                    scat[r] = out_base + dp
+                    scat[G + r] = out_base + dq
+                    scat[2 * G + r] = out_base + _PAIR[dp]
+                    scat[3 * G + r] = out_base + _PAIR[dq]
+                    pos_of = {
+                        dp: r,
+                        _PAIR[dp]: 2 * G + r,
+                        dq: G + r,
+                        _PAIR[dq]: 3 * G + r,
+                    }
+                    rnr_pos[gate.out] = (
+                        pos_of[P1], pos_of[N1], pos_of[P0], pos_of[N0]
+                    )
+                # pin-major flat gather order, so the reduction runs over
+                # contiguous (2G, W) slices
+                idx = np.ascontiguousarray(idx2.T).reshape(K * 2 * G)
+            self.levels.append(
+                _LevelProgram(K, G, idx, scat, rnr_pos, xors)
+            )
+
+    # -- persistence ----------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """Marshal-serializable form (plain ints, bytes, tuples)."""
+
+        def dump(arr: "Optional[np.ndarray]") -> Optional[bytes]:
+            return None if arr is None else arr.astype("<i8").tobytes()
+
+        return {
+            "version": PROGRAM_CACHE_VERSION,
+            "n_nets": self.n_nets,
+            "base": dump(self.base),
+            "pi_hi": self.pi_hi,
+            "src_hi": self.src_hi,
+            "po_rows": dump(self.po_rows),
+            "ffin_rows": dump(self.ffin_rows),
+            "posmap": tuple(sorted(self.posmap.items())),
+            "levels": tuple(
+                (
+                    lv.K,
+                    lv.G,
+                    dump(lv.idx),
+                    dump(lv.scat),
+                    tuple(sorted(lv.rnr_pos.items())),
+                    tuple(lv.xors),
+                )
+                for lv in self.levels
+            ),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, cc: CompiledCircuit, payload: Dict[str, Any]
+    ) -> "NumpyProgram":
+        """Rebuild a program from :meth:`to_payload` data.
+
+        Raises on any shape mismatch; callers treat that as a cache miss
+        and rebuild from the circuit.
+        """
+
+        def arr(blob: Optional[bytes]) -> "Optional[np.ndarray]":
+            if blob is None:
+                return None
+            return np.frombuffer(blob, dtype="<i8").astype(np.intp)
+
+        if payload["version"] != PROGRAM_CACHE_VERSION:
+            raise ValueError("program payload version mismatch")
+        prog = cls.__new__(cls)
+        n = int(payload["n_nets"])
+        if n != cc.num_nets:
+            raise ValueError("program payload is for a different circuit")
+        prog.n_nets = n
+        prog.base = arr(payload["base"])
+        prog.ones_row = 4 * n
+        prog.zeros_row = 4 * n + 1
+        prog.n_rows = 4 * n + 2
+        prog.pi_hi = int(payload["pi_hi"])
+        prog.ffo_lo = prog.pi_hi
+        prog.src_hi = int(payload["src_hi"])
+        prog.po_rows = arr(payload["po_rows"])
+        prog.ffin_rows = arr(payload["ffin_rows"])
+        prog.posmap = {pos: tuple(val) for pos, val in payload["posmap"]}
+        prog.levels = [
+            _LevelProgram(
+                K,
+                G,
+                arr(idx),
+                arr(scat),
+                {net: tuple(p) for net, p in rnr},
+                [tuple(x) for x in xors],
+            )
+            for K, G, idx, scat, rnr, xors in payload["levels"]
+        ]
+        return prog
+
+
+def program_for(cc: CompiledCircuit) -> NumpyProgram:
+    """The (possibly disk-cached) sweep program for a compiled circuit."""
+    prog = getattr(cc, _CACHE_ATTR, None)
+    if prog is not None:
+        return prog
+    _require_numpy()
+    key = kernel_cache.entry_key(
+        "numpy-program",
+        PROGRAM_CACHE_VERSION,
+        kernel_cache.circuit_fingerprint(cc),
+    )
+    payload = kernel_cache.load(key)
+    if payload is not None:
+        try:
+            prog = NumpyProgram.from_payload(cc, payload)
+        except (KeyError, ValueError, TypeError):
+            prog = None  # stale/foreign entry: rebuild and overwrite
+    if prog is None:
+        start = perf_counter()
+        prog = NumpyProgram(cc)
+        PROGRAM_STATS["programs"] += 1
+        PROGRAM_STATS["seconds"] += perf_counter() - start
+        kernel_cache.store(key, prog.to_payload())
+    setattr(cc, _CACHE_ATTR, prog)
+    return prog
+
+
+# ----------------------------------------------------------------------
+# runtime: one program bound to a word width and an injection set
+# ----------------------------------------------------------------------
+def _mask_words(mask: int, W: int) -> "np.ndarray":
+    return np.frombuffer(
+        (mask & ((1 << (64 * W)) - 1)).to_bytes(8 * W, "little"),
+        dtype="<u8",
+    ).astype(np.uint64)
+
+
+def _words_to_int(row: "np.ndarray") -> int:
+    return int.from_bytes(row.astype("<u8").tobytes(), "little")
+
+
+class _DensePair:
+    """A dense OR-plane / AND-plane force applied to one buffer."""
+
+    __slots__ = ("orp", "andp", "_shape")
+
+    def __init__(self, shape: Tuple[int, int]) -> None:
+        self.orp: "Optional[np.ndarray]" = None
+        self.andp: "Optional[np.ndarray]" = None
+        self._shape = shape
+
+    def force(self, row: int, stuck_on: bool, mask_w: "np.ndarray") -> None:
+        if stuck_on:
+            if self.orp is None:
+                self.orp = np.zeros(self._shape, dtype=np.uint64)
+            self.orp[row] |= mask_w
+        else:
+            if self.andp is None:
+                self.andp = np.full(
+                    self._shape, np.uint64(_FULL), dtype=np.uint64
+                )
+            self.andp[row] &= ~mask_w
+
+    def force_bit(self, row: int, stuck_on: bool, wi: int, bit: int) -> None:
+        """Single-slot force: touch one word instead of a whole mask row."""
+        if stuck_on:
+            if self.orp is None:
+                self.orp = np.zeros(self._shape, dtype=np.uint64)
+            self.orp[row, wi] |= bit
+        else:
+            if self.andp is None:
+                self.andp = np.full(
+                    self._shape, np.uint64(_FULL), dtype=np.uint64
+                )
+            self.andp[row, wi] &= ~bit
+
+    def apply(self, buf: "np.ndarray") -> None:
+        if self.orp is not None:
+            buf |= self.orp
+        if self.andp is not None:
+            buf &= self.andp
+
+    @property
+    def empty(self) -> bool:
+        return self.orp is None and self.andp is None
+
+
+def _stem_rows(stuck: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """(planes forced on, planes forced off) for a stem stuck value."""
+    if stuck == 1:
+        return (P1, N0), (P0, N1)
+    return (P0, N1), (P1, N0)
+
+
+# force-op kinds produced by _fault_ops (first tuple element)
+_OP_FF, _OP_STEM, _OP_SRC, _OP_OSRC, _OP_PIN, _OP_XSTEM, _OP_XPIN = range(7)
+
+
+def _fault_ops(
+    prog: NumpyProgram,
+    cc: CompiledCircuit,
+    net: int,
+    stuck: int,
+    gate_pos: Optional[int],
+    pin: Optional[int],
+    ff_pos: Optional[int],
+) -> Tuple[Tuple[int, ...], ...]:
+    """Mask-independent force routing for one injection site.
+
+    The returned ops say *where* in the kernel's force containers the
+    stuck value lands; the slot mask is supplied when the ops are bound,
+    so one routing (cached per fault on the compiled circuit) serves
+    every chunk position the fault ever occupies.
+    """
+    ops: List[Tuple[int, ...]] = []
+    if ff_pos is not None:
+        # D-pin fault: forces the value latched at the clock edge
+        row = 4 * ff_pos
+        on, off = _stem_rows(stuck)
+        for plane in on:
+            ops.append((_OP_FF, row + plane, True))
+        for plane in off:
+            ops.append((_OP_FF, row + plane, False))
+    elif gate_pos is None:
+        driver = cc.gate_of[net]
+        if driver is not None:
+            kind, level_i, _r = prog.posmap[driver]
+            if kind == "x":
+                ops.append((_OP_XSTEM, driver, stuck))
+            else:
+                positions = prog.levels[level_i].rnr_pos[net]
+                on, off = _stem_rows(stuck)
+                for plane in on:
+                    ops.append((_OP_STEM, level_i, positions[plane], True))
+                for plane in off:
+                    ops.append((_OP_STEM, level_i, positions[plane], False))
+        else:
+            # source stem (PI / flip-flop output / undriven net)
+            row = int(prog.base[net])
+            code = _OP_SRC if row < prog.src_hi else _OP_OSRC
+            on, off = _stem_rows(stuck)
+            for plane in on:
+                ops.append((code, row + plane, True))
+            for plane in off:
+                ops.append((code, row + plane, False))
+    else:
+        # branch fault: one gate's private view of an input net
+        kind, level_i, r = prog.posmap[gate_pos]
+        if kind == "x":
+            ops.append((_OP_XPIN, gate_pos, pin, stuck))
+        else:
+            lv = prog.levels[level_i]
+            code = cc.gates[gate_pos].code
+            sp, _dp, sq, _dq = _PLANE[code]
+            for j, plane in ((r, sp), (lv.G + r, sq)):
+                flat = pin * 2 * lv.G + j
+                # a stuck value turns this gathered plane either fully on
+                # or fully off in the masked slots: e.g. stuck-1 sets p1
+                # and ~p0
+                on = plane in ((P1, N0) if stuck == 1 else (P0, N1))
+                ops.append((_OP_PIN, level_i, flat, on))
+    return tuple(ops)
+
+
+def _ops_for_fault(
+    prog: NumpyProgram, cc: CompiledCircuit, fault: "Any"
+) -> Tuple[Tuple[int, ...], ...]:
+    """Per-fault routing ops, cached on the compiled circuit."""
+    cache = getattr(cc, _OPS_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(cc, _OPS_ATTR, cache)
+    ops = cache.get(fault)
+    if ops is None:
+        from .fault_sim import injection_for  # local import: avoid a cycle
+
+        inj = injection_for(cc, fault, 0)
+        ops = _fault_ops(
+            prog, cc, inj.net, inj.stuck, inj.gate_pos, inj.pin, inj.ff_pos
+        )
+        cache[fault] = ops
+    return ops
+
+
+class _MatrixKernel:
+    """A :class:`NumpyProgram` bound to a slot count and injections.
+
+    Owns the value matrix ``V`` and all per-level scratch buffers;
+    :meth:`sweep` is the vectorized equivalent of one full levelized
+    settle, :meth:`clock` of one flip-flop latch edge.
+    """
+
+    def __init__(
+        self,
+        prog: NumpyProgram,
+        cc: CompiledCircuit,
+        slots: int,
+        injections: Sequence[Injection],
+    ) -> None:
+        self.prog = prog
+        self.cc = cc
+        self.W = W = (max(1, slots) + 63) // 64
+        self.V = np.empty((prog.n_rows, W), dtype=np.uint64)
+        self.bufs: List[Optional[np.ndarray]] = []
+        self.rnr: List[Optional[np.ndarray]] = []
+        for lv in prog.levels:
+            if lv.G:
+                self.bufs.append(
+                    np.empty((lv.K * 2 * lv.G, W), dtype=np.uint64)
+                )
+                self.rnr.append(np.empty((4 * lv.G, W), dtype=np.uint64))
+            else:
+                self.bufs.append(None)
+                self.rnr.append(None)
+        n_ff = len(cc.ff_out)
+        self.ffbuf = (
+            np.empty((4 * n_ff, W), dtype=np.uint64) if n_ff else None
+        )
+        # injection forces, all as dense mask planes
+        self.src = _DensePair((prog.src_hi, W))
+        self.other_src: List[Tuple[int, bool, np.ndarray]] = []
+        self.pin_f = [_DensePair((lv.K * 2 * lv.G, W)) if lv.G else None
+                      for lv in prog.levels]
+        self.stem_f = [_DensePair((4 * lv.G, W)) if lv.G else None
+                       for lv in prog.levels]
+        self.ff_f = _DensePair((4 * n_ff, W))
+        #: gate_pos -> pin -> [(stuck, mask_words)]
+        self.xor_pin: Dict[int, Dict[int, List[Tuple[int, np.ndarray]]]] = {}
+        #: gate_pos -> [(stuck, mask_words)] on the parity gate's output
+        self.xor_stem: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        for inj in injections:
+            self._bind(inj)
+
+    # -- injection binding ---------------------------------------------
+    def _bind(self, inj: Injection) -> None:
+        """Bind one injection over an arbitrary multi-slot mask."""
+        ops = _fault_ops(
+            self.prog, self.cc, inj.net, inj.stuck, inj.gate_pos, inj.pin,
+            inj.ff_pos,
+        )
+        mask_w = _mask_words(inj.mask, self.W)
+        for op in ops:
+            kind = op[0]
+            if kind == _OP_PIN:
+                self.pin_f[op[1]].force(op[2], op[3], mask_w)
+            elif kind == _OP_STEM:
+                self.stem_f[op[1]].force(op[2], op[3], mask_w)
+            elif kind == _OP_SRC:
+                self.src.force(op[1], op[2], mask_w)
+            elif kind == _OP_FF:
+                self.ff_f.force(op[1], op[2], mask_w)
+            else:
+                self._bind_rare(op, mask_w)
+
+    def bind_slot(self, ops: Tuple[Tuple[int, ...], ...], slot: int) -> None:
+        """Bind precomputed fault ops to a single slot (fast path)."""
+        wi, bit = slot >> 6, _BIT_TAB[slot & 63]
+        mask_w = None
+        for op in ops:
+            kind = op[0]
+            if kind == _OP_PIN:
+                self.pin_f[op[1]].force_bit(op[2], op[3], wi, bit)
+            elif kind == _OP_STEM:
+                self.stem_f[op[1]].force_bit(op[2], op[3], wi, bit)
+            elif kind == _OP_SRC:
+                self.src.force_bit(op[1], op[2], wi, bit)
+            elif kind == _OP_FF:
+                self.ff_f.force_bit(op[1], op[2], wi, bit)
+            else:
+                if mask_w is None:
+                    mask_w = _mask_words(1 << slot, self.W)
+                self._bind_rare(op, mask_w)
+
+    def _bind_rare(self, op: Tuple[int, ...], mask_w: "np.ndarray") -> None:
+        """Undriven-net stems and parity-gate forces: list containers."""
+        kind = op[0]
+        if kind == _OP_OSRC:
+            self.other_src.append((op[1], op[2], mask_w))
+        elif kind == _OP_XSTEM:
+            self.xor_stem.setdefault(op[1], []).append((op[2], mask_w))
+        else:
+            self.xor_pin.setdefault(op[1], {}).setdefault(op[2], []).append(
+                (op[3], mask_w)
+            )
+
+    # -- state ----------------------------------------------------------
+    def reset_x(self) -> None:
+        """Every net (and the aux rows) to the all-X pattern."""
+        V, n4 = self.V, 4 * self.prog.n_nets
+        V[0:n4:4] = np.uint64(_FULL)
+        V[1:n4:4] = np.uint64(0)
+        V[2:n4:4] = np.uint64(_FULL)
+        V[3:n4:4] = np.uint64(0)
+        V[self.prog.ones_row] = np.uint64(_FULL)
+        V[self.prog.zeros_row] = np.uint64(0)
+
+    def write_net(self, net: int, p1: int, p0: int) -> None:
+        """Set one net's packed value (and complements) directly."""
+        row = int(self.prog.base[net])
+        w1 = _mask_words(p1, self.W)
+        w0 = _mask_words(p0, self.W)
+        V = self.V
+        V[row + P1] = w1
+        V[row + N1] = ~w1
+        V[row + P0] = w0
+        V[row + N0] = ~w0
+
+    def read_net(self, net: int, mask: int) -> Tuple[int, int]:
+        row = int(self.prog.base[net])
+        return (
+            _words_to_int(self.V[row + P1]) & mask,
+            _words_to_int(self.V[row + P0]) & mask,
+        )
+
+    # -- the sweep -------------------------------------------------------
+    def sweep(self) -> None:
+        prog, V = self.prog, self.V
+        if not self.src.empty:
+            self.src.apply(V[: prog.src_hi])
+        for row, on, mask_w in self.other_src:
+            if on:
+                V[row] |= mask_w
+            else:
+                V[row] &= ~mask_w
+        for level_i, lv in enumerate(prog.levels):
+            if lv.G:
+                buf = self.bufs[level_i]
+                np.take(V, lv.idx, axis=0, out=buf)
+                pin_force = self.pin_f[level_i]
+                if not pin_force.empty:
+                    pin_force.apply(buf)
+                stacked = buf.reshape(lv.K, 2 * lv.G, self.W)
+                rnr = self.rnr[level_i]
+                r_half = rnr[: 2 * lv.G]
+                if lv.K == 1:
+                    np.copyto(r_half, stacked[0])
+                else:
+                    np.bitwise_and(stacked[0], stacked[1], out=r_half)
+                    for k in range(2, lv.K):
+                        np.bitwise_and(r_half, stacked[k], out=r_half)
+                np.invert(r_half, out=rnr[2 * lv.G :])
+                stem = self.stem_f[level_i]
+                if not stem.empty:
+                    stem.apply(rnr)
+                V[lv.scat] = rnr
+            for xor_i, (pos, out, is_xnor, fanin) in enumerate(lv.xors):
+                self._eval_xor(pos, out, is_xnor, fanin)
+
+    def _eval_xor(
+        self, pos: int, out: int, is_xnor: bool, fanin: Tuple[int, ...]
+    ) -> None:
+        prog, V = self.prog, self.V
+        pin_forces = self.xor_pin.get(pos, {})
+
+        def pin_val(k: int) -> Tuple["np.ndarray", "np.ndarray"]:
+            row = int(prog.base[fanin[k]])
+            a1, a0 = V[row + P1], V[row + P0]
+            forces = pin_forces.get(k)
+            if forces:
+                a1, a0 = a1.copy(), a0.copy()
+                for stuck, mask_w in forces:
+                    if stuck == 1:
+                        a1 |= mask_w
+                        a0 &= ~mask_w
+                    else:
+                        a1 &= ~mask_w
+                        a0 |= mask_w
+            return a1, a0
+
+        if not fanin:
+            p1 = V[prog.zeros_row].copy()
+            p0 = V[prog.ones_row].copy()
+        else:
+            p1, p0 = pin_val(0)
+            p1, p0 = p1.copy(), p0.copy()
+            for k in range(1, len(fanin)):
+                b1, b0 = pin_val(k)
+                p1, p0 = (p1 & b0) | (p0 & b1), (p1 & b1) | (p0 & b0)
+        if is_xnor:
+            p1, p0 = p0, p1
+        for stuck, mask_w in self.xor_stem.get(pos, ()):
+            if stuck == 1:
+                p1 = p1 | mask_w
+                p0 = p0 & ~mask_w
+            else:
+                p1 = p1 & ~mask_w
+                p0 = p0 | mask_w
+        row = int(prog.base[out])
+        V[row + P1] = p1
+        V[row + N1] = ~p1
+        V[row + P0] = p0
+        V[row + N0] = ~p0
+
+    def clock(self) -> None:
+        """Latch D values into the flip-flop output rows."""
+        if self.ffbuf is None:
+            return
+        prog, V = self.prog, self.V
+        np.take(V, prog.ffin_rows, axis=0, out=self.ffbuf)
+        if not self.ff_f.empty:
+            self.ff_f.apply(self.ffbuf)
+        V[prog.ffo_lo : prog.src_hi] = self.ffbuf
+
+
+# ----------------------------------------------------------------------
+# FrameSimulator-compatible wrapper (the registered backend class)
+# ----------------------------------------------------------------------
+class NumpyFrameSimulator(FrameSimulator):
+    """Frame simulator whose settle phase is one vectorized matrix sweep.
+
+    Same constructor, state, and frame-advance API as the event-driven
+    :class:`~repro.simulation.logic_sim.FrameSimulator`; values live in
+    the kernel's uint64 matrix and convert to packed Python ints only at
+    the read/write boundary.  Like the codegen backend, the clock edge
+    defers its resettling sweep to the next access.  Registered as
+    backend ``"numpy"`` when numpy is importable.
+    """
+
+    def __init__(
+        self,
+        circuit: "Any",
+        width: int = 64,
+        injections: Sequence[Injection] = (),
+    ) -> None:
+        _require_numpy()
+        injections = list(injections)
+        super().__init__(circuit, width=width, injections=injections)
+        self._prog = program_for(self.cc)
+        self._kern = _MatrixKernel(self._prog, self.cc, width, injections)
+        self._kern.reset_x()
+        self._dirty = True
+        ff_out = set(self.cc.ff_out)
+        self._state_needs_settle = any(
+            inj.ff_pos is None
+            and inj.gate_pos is None
+            and inj.net in ff_out
+            for inj in injections
+        )
+
+    # -- state ----------------------------------------------------------
+    def reset(self) -> None:
+        self._kern.reset_x()
+        self._dirty = True
+
+    def get_state(self) -> List[Tuple[int, int]]:
+        # flip-flop outputs are written directly by the clock edge; only a
+        # stem force sitting on one requires a sweep to re-assert it
+        if self._state_needs_settle:
+            self.settle()
+        read = self._kern.read_net
+        return [read(i, self.mask) for i in self.cc.ff_out]
+
+    def read(self, net: str) -> Tuple[int, int]:
+        self.settle()
+        return self._kern.read_net(self.cc.index[net], self.mask)
+
+    def read_outputs(self) -> List[Tuple[int, int]]:
+        self.settle()
+        read = self._kern.read_net
+        return [read(i, self.mask) for i in self.cc.po]
+
+    def read_next_state(self) -> List[Tuple[int, int]]:
+        self.settle()
+        read = self._kern.read_net
+        return [read(i, self.mask) for i in self.cc.ff_in]
+
+    # -- frame advance ---------------------------------------------------
+    def settle(self) -> None:
+        if self._dirty:
+            self._kern.sweep()
+            self._dirty = False
+
+    def clock(self) -> None:
+        self.settle()  # D values must be stable before the edge
+        self._kern.clock()
+        self._dirty = True
+
+    # -- internals -------------------------------------------------------
+    def _write_source(self, idx: int, value: Tuple[int, int]) -> None:
+        p1, p0 = value
+        self._kern.write_net(idx, p1 & self.mask, p0 & self.mask)
+        self._dirty = True
+
+
+if np is not None:
+    register_backend("numpy", NumpyFrameSimulator)
+
+
+# ----------------------------------------------------------------------
+# whole-run vectorized fault simulation (FaultSimulator fast path)
+# ----------------------------------------------------------------------
+def _pack_scalar_rows(values: "np.ndarray", W: int) -> "np.ndarray":
+    """(rows, slots) scalar 0/1/X matrix -> (rows, 2, W) plane words."""
+    p1 = (values != 0).astype(np.uint8)
+    p0 = (values != 1).astype(np.uint8)
+    out = np.zeros((values.shape[0], 2, W * 8), dtype=np.uint8)
+    packed1 = np.packbits(p1, axis=1, bitorder="little")
+    packed0 = np.packbits(p0, axis=1, bitorder="little")
+    out[:, 0, : packed1.shape[1]] = packed1
+    out[:, 1, : packed0.shape[1]] = packed0
+    words = out.view("<u8").astype(np.uint64)
+    return words.reshape(values.shape[0], 2, W)
+
+
+def _unpack_bit_rows(rows: "np.ndarray", slots: int) -> "np.ndarray":
+    """(rows, W) uint64 -> (rows, slots) 0/1 bit matrix."""
+    as_bytes = rows.astype("<u8").view(np.uint8).reshape(rows.shape[0], -1)
+    return np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :slots]
+
+
+def run_fault_sim(
+    fsim: "Any",
+    vectors: Sequence[Sequence[int]],
+    faults: Sequence["Any"],
+    good_state: Optional[Sequence[int]],
+    fault_states: Dict["Any", List[int]],
+    result: "Any",
+    record_signatures: bool,
+) -> int:
+    """Whole-run vectorized fault simulation for ``FaultSimulator.run``.
+
+    The good machine rides in slot 0 of every chunk's matrix and each
+    chunk carries up to ``width`` faults in slots 1..width, so the good
+    simulation, all faulty machines, and detection analysis are single
+    array programs — no per-frame Python loop over outputs or slots.
+    Results are identical to the event backend's batch loop (detection
+    frames, insertion order, final states, signatures); early stopping
+    is unnecessary because detection is computed after the fact from the
+    recorded output planes.  Returns the number of frames simulated (for
+    telemetry).
+    """
+    _require_numpy()
+    cc = fsim.cc
+    prog = program_for(cc)
+    n_po = len(cc.po)
+    n_ff = len(cc.ff_out)
+    n_frames = len(vectors)
+    width = fsim.width
+
+    # pack the input sequence once; (frames, 4*n_pi, 1) broadcasts over
+    # any chunk's word width
+    vec_arr = np.asarray(vectors, dtype=np.int8).reshape(n_frames, len(cc.pi))
+    inp = np.empty((n_frames, 4 * len(cc.pi), 1), dtype=np.uint64)
+    p1 = np.where(vec_arr != 0, np.uint64(_FULL), np.uint64(0))
+    p0 = np.where(vec_arr != 1, np.uint64(_FULL), np.uint64(0))
+    inp[:, P1::4, 0] = p1
+    inp[:, N1::4, 0] = ~p1
+    inp[:, P0::4, 0] = p0
+    inp[:, N0::4, 0] = ~p0
+
+    chunks = [
+        list(faults[start : start + width])
+        for start in range(0, len(faults), width)
+    ] or [[]]
+    frames_run = 0
+    for chunk_i, chunk in enumerate(chunks):
+        slots = len(chunk) + 1  # slot 0 carries the fault-free machine
+        W = (slots + 63) // 64
+        kern = _MatrixKernel(prog, cc, slots, ())
+        for s, fault in enumerate(chunk):
+            kern.bind_slot(_ops_for_fault(prog, cc, fault), s + 1)
+        kern.reset_x()
+
+        # initial flip-flop state: good state in slot 0, per-fault states
+        # (default all-X) in their slots
+        if n_ff and (good_state is not None or fault_states):
+            vals = np.full((n_ff, slots), X, dtype=np.int8)
+            if good_state is not None:
+                vals[:, 0] = good_state
+            for s, fault in enumerate(chunk):
+                state = fault_states.get(fault)
+                if state is not None:
+                    vals[:, s + 1] = state
+            planes = _pack_scalar_rows(vals, W)
+            block = kern.V[prog.ffo_lo : prog.src_hi].reshape(n_ff, 4, W)
+            block[:, P1] = planes[:, 0]
+            block[:, N1] = ~planes[:, 0]
+            block[:, P0] = planes[:, 1]
+            block[:, N0] = ~planes[:, 1]
+
+        out = np.empty((n_frames, 2 * n_po, W), dtype=np.uint64)
+        V = kern.V
+        for f in range(n_frames):
+            V[: prog.pi_hi] = inp[f]
+            kern.sweep()
+            np.take(V, prog.po_rows, axis=0, out=out[f])
+            kern.clock()
+        frames_run += n_frames
+        # stem forces on flip-flop outputs are normally re-asserted at the
+        # start of the next sweep; apply them once more so the extracted
+        # final states match the event backend's clock-time application
+        if not kern.src.empty:
+            kern.src.apply(V[: prog.src_hi])
+        for row, on, mask_w in kern.other_src:
+            if on:
+                V[row] |= mask_w
+            else:
+                V[row] &= ~mask_w
+
+        # -- good outputs (chunk 0 only: every chunk's slot 0 is identical)
+        one = np.uint64(1)
+        g1 = (out[:, 0::2, 0] & one).astype(bool) if n_po else None
+        g0 = (out[:, 1::2, 0] & one).astype(bool) if n_po else None
+        if chunk_i == 0:
+            if n_po:
+                gv = np.where(g1 & g0, X, np.where(g1, 1, 0))
+                result.good_outputs = [
+                    [int(v) for v in row] for row in gv
+                ]
+            else:
+                result.good_outputs = [[] for _ in range(n_frames)]
+
+        # -- detection: a fault slot differs from the good machine at a PO
+        # whose good value is known
+        if n_po and n_frames and len(chunk):
+            f1 = out[:, 0::2, :]
+            f0 = out[:, 1::2, :]
+            diff = np.where(g1[..., None], f0 & ~f1, f1 & ~f0)
+            diff[~(g1 ^ g0)] = np.uint64(0)
+            slot_mask = _mask_words(full_mask(slots) & ~1, W)
+            diff &= slot_mask
+            flat = diff.reshape(n_frames * n_po, W)
+            bits = _unpack_bit_rows(flat, slots)
+            hit = bits.any(axis=0)
+            first = np.argmax(bits, axis=0)
+            # event-backend insertion order: frame-major, then PO, then slot
+            for s in sorted(
+                (s for s in range(1, slots) if hit[s]),
+                key=lambda s: (first[s], s),
+            ):
+                result.detected[chunk[s - 1]] = int(first[s]) // n_po
+            if record_signatures:
+                obs = bits.reshape(n_frames, n_po, slots)
+                sig_lists: List[List[Tuple[int, int]]] = [
+                    [] for _ in range(slots)
+                ]
+                for f, po_pos, s in np.argwhere(obs):
+                    sig_lists[s].append((int(f), int(po_pos)))
+                for s, fault in enumerate(chunk, start=1):
+                    result.signatures[fault] = frozenset(sig_lists[s])
+        else:
+            hit = np.zeros(slots, dtype=bool)
+            if record_signatures:
+                for fault in chunk:
+                    result.signatures[fault] = frozenset()
+
+        # -- final states
+        if n_ff:
+            block = V[prog.ffo_lo : prog.src_hi]
+            s1 = _unpack_bit_rows(block[P1::4], slots)
+            s0 = _unpack_bit_rows(block[P0::4], slots)
+            final = np.where(
+                (s1 == 1) & (s0 == 1), X, np.where(s1 == 1, 1, 0)
+            )
+            slot_states = final.T.tolist()  # per-slot scalar state lists
+        else:
+            slot_states = [[] for _ in range(slots)]
+        if chunk_i == len(chunks) - 1:
+            result.good_state = slot_states[0]
+        for s, fault in enumerate(chunk, start=1):
+            if hit[s]:
+                fault_states.pop(fault, None)
+                continue
+            state = slot_states[s]
+            result.fault_states[fault] = state
+            fault_states[fault] = state
+    return frames_run

@@ -1,0 +1,78 @@
+"""Campaign smoke test on the numpy simulation backend.
+
+A small campaign runs end-to-end with ``backend="numpy"`` (inline and
+through resume), lands the same detections as the event-backend
+reference, and — when a kernel cache directory is configured — the
+workers actually populate and reuse it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, read_events
+from repro.simulation import kernel_cache
+
+numpy = pytest.importorskip("numpy")
+
+SPEC = dict(
+    circuits=("s27",),
+    name="np-smoke",
+    seed=7,
+    shard_size=8,
+    passes=2,
+    backend="numpy",
+)
+
+
+def run(tmp_path, name, **overrides):
+    params = dict(SPEC)
+    params.update(overrides)
+    journal = str(tmp_path / name)
+    return CampaignRunner(CampaignSpec(**params), journal).run(), journal
+
+
+class TestNumpyCampaign:
+    def test_end_to_end(self, tmp_path):
+        result, _ = run(tmp_path, "np.jsonl")
+        assert result.items_failed == 0
+        assert result.fault_coverage == 1.0
+        assert result.circuits["s27"].vectors
+
+    def test_matches_event_backend(self, tmp_path):
+        np_run, _ = run(tmp_path, "np.jsonl")
+        ev_run, _ = run(tmp_path, "ev.jsonl", backend="event")
+        assert (np_run.circuits["s27"].detected
+                == ev_run.circuits["s27"].detected)
+        assert np_run.fault_coverage == ev_run.fault_coverage
+
+    def test_resume_from_partial_journal(self, tmp_path):
+        reference, full = run(tmp_path, "full.jsonl")
+        events = read_events(full)
+        partial = str(tmp_path / "partial.jsonl")
+        with open(partial, "w") as handle:
+            for event in events:
+                if event["type"] in ("campaign", "items"):
+                    handle.write(json.dumps(event) + "\n")
+            done = [e for e in events if e["type"] == "item_done"]
+            for event in done[: len(done) // 2]:
+                handle.write(json.dumps(event) + "\n")
+        resumed = CampaignRunner.resume(partial)
+        assert resumed.fault_coverage == reference.fault_coverage
+        assert (resumed.circuits["s27"].detected
+                == reference.circuits["s27"].detected)
+        assert resumed.items_failed == 0
+
+    def test_kernel_cache_populated(self, tmp_path, monkeypatch):
+        cache = tmp_path / "kernels"
+        monkeypatch.setenv(kernel_cache.ENV_VAR, str(cache))
+        result, _ = run(tmp_path, "cached.jsonl")
+        assert result.items_failed == 0
+        entries = [
+            f
+            for _, _, files in os.walk(cache)
+            for f in files
+            if f.endswith(".rkc")
+        ]
+        assert entries  # programs persisted for warm workers

@@ -1,0 +1,205 @@
+"""The persistent kernel cache: hits, integrity, and telemetry.
+
+Exercises the disk layer shared by both compiling backends: a cold
+process writes entries, a warm process (simulated with fresh compiled
+circuits) loads them with **zero** recompilation, and a corrupted or
+truncated entry is detected, discarded and transparently rebuilt — the
+cache can degrade but never crash a run.
+"""
+
+import os
+
+import pytest
+
+from repro.circuits import s27
+from repro.faults.model import full_fault_list
+from repro.simulation import kernel_cache
+from repro.simulation.codegen import COMPILE_STATS, kernel_for
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.fault_sim import FaultSimulator
+from repro.telemetry import TelemetryRecorder
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(kernel_cache.ENV_VAR, str(tmp_path))
+    return tmp_path
+
+
+def _entry_files(root):
+    return [
+        os.path.join(dirpath, f)
+        for dirpath, _, files in os.walk(root)
+        for f in files
+        if f.endswith(".rkc")
+    ]
+
+
+class TestStoreLoad:
+    def test_roundtrip(self, cache_dir):
+        key = kernel_cache.entry_key("test", 1, "fp", ("a", 2))
+        payload = {"rows": b"\x01\x02", "n": 7, "t": (1, 2, 3)}
+        assert kernel_cache.store(key, payload)
+        assert kernel_cache.load(key) == payload
+
+    def test_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(kernel_cache.ENV_VAR, raising=False)
+        key = kernel_cache.entry_key("test", 1, "fp")
+        assert not kernel_cache.store(key, {"x": 1})
+        assert kernel_cache.load(key) is None
+        assert not _entry_files(tmp_path)
+
+    def test_missing_entry_counts_miss(self, cache_dir):
+        before = kernel_cache.CACHE_STATS["misses"]
+        assert kernel_cache.load("0" * 64) is None
+        assert kernel_cache.CACHE_STATS["misses"] == before + 1
+
+    def test_configure_sets_environment(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(kernel_cache.ENV_VAR, raising=False)
+        kernel_cache.configure(str(tmp_path))
+        try:
+            assert os.environ[kernel_cache.ENV_VAR] == str(tmp_path)
+            assert kernel_cache.cache_dir() == str(tmp_path)
+        finally:
+            kernel_cache.configure(None)
+        assert kernel_cache.cache_dir() is None
+
+    def test_unmarshallable_payload_degrades(self, cache_dir):
+        key = kernel_cache.entry_key("test", 1, "fp")
+        assert not kernel_cache.store(key, {"bad": object()})
+
+    def test_fingerprint_stable_across_compiles(self):
+        fp1 = kernel_cache.circuit_fingerprint(compile_circuit(s27()))
+        fp2 = kernel_cache.circuit_fingerprint(compile_circuit(s27()))
+        assert fp1 == fp2
+
+
+class TestCorruption:
+    def _store_one(self):
+        key = kernel_cache.entry_key("test", 1, "fp")
+        kernel_cache.store(key, [1, 2, 3])
+        return key
+
+    @pytest.mark.parametrize("damage", ["truncate", "flip", "garbage"])
+    def test_detected_and_discarded(self, cache_dir, damage):
+        key = self._store_one()
+        (path,) = _entry_files(cache_dir)
+        blob = open(path, "rb").read()
+        if damage == "truncate":
+            blob = blob[: len(blob) // 2]
+        elif damage == "flip":
+            blob = blob[:40] + bytes([blob[40] ^ 0xFF]) + blob[41:]
+        else:
+            blob = b"not a cache entry"
+        open(path, "wb").write(blob)
+        before = kernel_cache.CACHE_STATS["corrupt"]
+        assert kernel_cache.load(key) is None
+        assert kernel_cache.CACHE_STATS["corrupt"] == before + 1
+        assert not _entry_files(cache_dir)  # bad entry deleted
+        # a rebuild overwrites cleanly and the next load succeeds
+        kernel_cache.store(key, [1, 2, 3])
+        assert kernel_cache.load(key) == [1, 2, 3]
+
+
+class TestCodegenDiskCache:
+    def test_warm_compile_skipped(self, cache_dir):
+        cold = compile_circuit(s27())
+        before = COMPILE_STATS["kernels"]
+        kernel_for(cold, [])
+        assert COMPILE_STATS["kernels"] == before + 1
+        assert _entry_files(cache_dir)
+        # a fresh compiled circuit simulates a warm process: the kernel
+        # comes off disk without touching the compiler
+        warm = compile_circuit(s27())
+        before = COMPILE_STATS["kernels"]
+        hits = kernel_cache.CACHE_STATS["hits"]
+        kernel_for(warm, [])
+        assert COMPILE_STATS["kernels"] == before
+        assert kernel_cache.CACHE_STATS["hits"] == hits + 1
+
+    def test_corrupt_kernel_recompiles(self, cache_dir):
+        kernel_for(compile_circuit(s27()), [])
+        for path in _entry_files(cache_dir):
+            open(path, "wb").write(b"\x00" * 10)
+        before = COMPILE_STATS["kernels"]
+        kernel_for(compile_circuit(s27()), [])
+        assert COMPILE_STATS["kernels"] == before + 1  # recompiled
+        # and the overwritten entry is valid again
+        before = COMPILE_STATS["kernels"]
+        kernel_for(compile_circuit(s27()), [])
+        assert COMPILE_STATS["kernels"] == before
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+class TestNumpyProgramDiskCache:
+    def test_warm_build_skipped(self, cache_dir):
+        from repro.simulation.numpy_backend import PROGRAM_STATS, program_for
+
+        before = PROGRAM_STATS["programs"]
+        program_for(compile_circuit(s27()))
+        assert PROGRAM_STATS["programs"] == before + 1
+        before = PROGRAM_STATS["programs"]
+        program_for(compile_circuit(s27()))  # fresh cc -> disk hit
+        assert PROGRAM_STATS["programs"] == before
+
+    def test_corrupt_program_rebuilds(self, cache_dir):
+        from repro.simulation.numpy_backend import PROGRAM_STATS, program_for
+
+        program_for(compile_circuit(s27()))
+        for path in _entry_files(cache_dir):
+            blob = open(path, "rb").read()
+            open(path, "wb").write(blob[:50])
+        before = PROGRAM_STATS["programs"]
+        corrupt = kernel_cache.CACHE_STATS["corrupt"]
+        program_for(compile_circuit(s27()))
+        assert PROGRAM_STATS["programs"] == before + 1
+        assert kernel_cache.CACHE_STATS["corrupt"] == corrupt + 1
+
+    def test_cached_program_results_identical(self, cache_dir):
+        import random
+
+        circuit = s27()
+        faults = full_fault_list(circuit)
+        rng = random.Random(3)
+        vectors = [
+            [rng.getrandbits(1) for _ in circuit.inputs] for _ in range(12)
+        ]
+        runs = []
+        for _ in range(2):  # second run loads the program from disk
+            res = FaultSimulator(
+                compile_circuit(circuit), width=32, backend="numpy"
+            ).run(vectors, faults, stop_on_all_detected=False)
+            runs.append((res.detected, res.good_state, res.fault_states))
+        assert runs[0] == runs[1]
+
+
+class TestTelemetryCounters:
+    def test_warm_run_reports_hits(self, cache_dir):
+        circuit = s27()
+        faults = full_fault_list(circuit)[:8]
+        vectors = [[1, 0, 1, 1], [0, 1, 0, 0]]
+        FaultSimulator(compile_circuit(circuit), width=8,
+                       backend="codegen").run(vectors, faults)
+        tel = TelemetryRecorder()
+        FaultSimulator(compile_circuit(circuit), width=8, backend="codegen",
+                       telemetry=tel).run(vectors, faults)
+        counters = tel.registry.counters
+        assert counters.get("sim.kernel_cache.hits", 0) >= 1
+        assert "sim.kernel_cache.corrupt" not in counters
+
+    def test_disabled_cache_reports_nothing(self, monkeypatch):
+        monkeypatch.delenv(kernel_cache.ENV_VAR, raising=False)
+        circuit = s27()
+        tel = TelemetryRecorder()
+        FaultSimulator(compile_circuit(circuit), width=8, backend="codegen",
+                       telemetry=tel).run(
+            [[1, 0, 1, 1]], full_fault_list(circuit)[:4])
+        counters = tel.registry.counters
+        assert not any(k.startswith("sim.kernel_cache") for k in counters)

@@ -1,0 +1,306 @@
+"""Differential tests: the ``numpy`` backend against event and codegen.
+
+The event-driven :class:`FrameSimulator` remains the oracle; these tests
+assert the vectorized matrix backend matches it (and the codegen
+backend) bit-for-bit — detection sets *and their insertion order*,
+surviving fault states, good-machine outputs/state and signatures —
+across the full gate set, all injection kinds, X-valued inputs, and
+machine widths from one slot to many words.  The backend is optional:
+the fallback tests at the bottom run with or without numpy installed.
+"""
+
+import sys
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuits import iscas89, s27
+from repro.faults.model import Fault, full_fault_list
+from repro.simulation.compiled import compile_circuit
+from repro.simulation.encoding import X
+from repro.simulation.fault_sim import FaultSimulator, injection_for
+from repro.simulation.logic_sim import (
+    BackendUnavailableError,
+    available_backends,
+    make_simulator,
+    resolve_backend,
+)
+
+from .test_codegen import full_gateset_circuits
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - container images ship numpy
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+#: One slot, one partial word, exactly one word of fault chunking, and
+#: multi-word machines — the widths named by the acceptance criteria.
+WIDTHS = [1, 64, 256, 1024]
+
+
+def _run_all_backends(circuit, vectors, faults, width, **kwargs):
+    results = {}
+    for backend in ("event", "codegen", "numpy"):
+        states = {}
+        sim = FaultSimulator(circuit, width=width, backend=backend)
+        res = sim.run(vectors, faults, fault_states=states, **kwargs)
+        results[backend] = (res, states)
+    return results
+
+
+def _assert_equivalent(results):
+    ref, ref_states = results["event"]
+    for backend in ("codegen", "numpy"):
+        got, got_states = results[backend]
+        assert got.detected == ref.detected, backend
+        assert list(got.detected) == list(ref.detected), backend  # order
+        assert got.fault_states == ref.fault_states, backend
+        assert got.good_outputs == ref.good_outputs, backend
+        assert got.good_state == ref.good_state, backend
+        assert got_states == ref_states, backend
+
+
+@needs_numpy
+class TestThreeWayEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_circuits(self, data):
+        circuit = data.draw(full_gateset_circuits())
+        faults = full_fault_list(circuit)
+        if len(faults) > 24:
+            start = data.draw(st.integers(0, len(faults) - 24))
+            faults = faults[start : start + 24]
+        length = data.draw(st.integers(1, 6))
+        vectors = [
+            [data.draw(st.integers(0, 2)) for _ in circuit.inputs]
+            for _ in range(length)
+        ]
+        width = data.draw(st.sampled_from(WIDTHS))
+        _assert_equivalent(
+            _run_all_backends(circuit, vectors, faults, width,
+                              stop_on_all_detected=False)
+        )
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_s27_all_widths(self, width, rng_vectors=20):
+        import random
+
+        circuit = s27()
+        faults = full_fault_list(circuit)
+        rng = random.Random(width)
+        vectors = [
+            [rng.choice([0, 1, X]) for _ in circuit.inputs]
+            for _ in range(rng_vectors)
+        ]
+        _assert_equivalent(
+            _run_all_backends(circuit, vectors, faults, width,
+                              stop_on_all_detected=False)
+        )
+
+    def test_early_stop_equivalence(self):
+        import random
+
+        circuit = s27()
+        faults = full_fault_list(circuit)
+        rng = random.Random(5)
+        vectors = [
+            [rng.getrandbits(1) for _ in circuit.inputs] for _ in range(40)
+        ]
+        _assert_equivalent(
+            _run_all_backends(circuit, vectors, faults, 64,
+                              stop_on_all_detected=True)
+        )
+
+    def test_all_injection_kinds_explicit(self):
+        import random
+
+        # fanout net feeds a gate pin AND a flip-flop D pin, plus parity
+        # gates so the XOR per-gate path carries injections too
+        c = Circuit("np_kinds")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.add_gate("s", GateType.AND, [a, b])
+        c.add_gate("y", GateType.NOR, ["s", b])
+        c.add_gate("q", GateType.DFF, ["s"])
+        c.add_gate("z", GateType.XOR, ["q", a])
+        c.add_gate("w", GateType.XNOR, ["z", "s"])
+        c.add_output("y")
+        c.add_output("w")
+        faults = full_fault_list(c)
+        rng = random.Random(2)
+        vectors = [
+            [rng.choice([0, 1, X]) for _ in c.inputs] for _ in range(16)
+        ]
+        _assert_equivalent(
+            _run_all_backends(c, vectors, faults, 16,
+                              stop_on_all_detected=False)
+        )
+
+    def test_stem_fault_on_flip_flop_output_state(self):
+        # the forced value must appear in the *extracted* final state,
+        # exactly as the event backend applies it at the clock edge
+        c = Circuit("np_ffstem")
+        a = c.add_input("a")
+        c.add_gate("q", GateType.DFF, [a])
+        c.add_gate("y", GateType.BUF, ["q"])
+        c.add_output("y")
+        faults = [Fault("q", 0), Fault("q", 1)]
+        _assert_equivalent(
+            _run_all_backends(c, [[1], [1], [0]], faults, 8,
+                              stop_on_all_detected=False)
+        )
+
+    def test_signatures_match(self):
+        import random
+
+        circuit = s27()
+        faults = full_fault_list(circuit)
+        rng = random.Random(4)
+        vectors = [
+            [rng.getrandbits(1) for _ in circuit.inputs] for _ in range(20)
+        ]
+        runs = {}
+        for backend in ("event", "codegen", "numpy"):
+            runs[backend] = FaultSimulator(
+                circuit, width=32, backend=backend
+            ).run(vectors, faults, record_signatures=True)
+        assert runs["numpy"].signatures == runs["event"].signatures
+        assert runs["codegen"].signatures == runs["event"].signatures
+
+    def test_incremental_carried_states(self):
+        # three grading blocks with faulty-machine states carried between
+        # them — the campaign/merge regime the backend exists for
+        import random
+
+        circuit = iscas89("s298")
+        faults = full_fault_list(circuit)[:80]
+        rng = random.Random(9)
+        blocks = [
+            [[rng.getrandbits(1) for _ in circuit.inputs] for _ in range(8)]
+            for _ in range(3)
+        ]
+        runs = {}
+        for backend in ("event", "numpy"):
+            sim = FaultSimulator(circuit, width=64, backend=backend)
+            remaining = list(faults)
+            states: dict = {}
+            good = [X] * len(compile_circuit(circuit).ff_out)
+            detected = {}
+            for block in blocks:
+                res = sim.run(block, remaining, good_state=good,
+                              fault_states=states)
+                detected.update(res.detected)
+                remaining = [f for f in remaining if f not in res.detected]
+                good = res.good_state
+            runs[backend] = (detected, states, good)
+        assert runs["numpy"] == runs["event"]
+
+    def test_grade_blocks_consistency(self):
+        import random
+
+        circuit = s27()
+        faults = full_fault_list(circuit)
+        rng = random.Random(6)
+        blocks = [
+            [[rng.getrandbits(1) for _ in circuit.inputs] for _ in range(6)]
+            for _ in range(4)
+        ]
+        graded = {}
+        for backend in ("event", "numpy"):
+            sim = FaultSimulator(circuit, width=32, backend=backend)
+            r = sim.grade_blocks(blocks, faults)
+            graded[backend] = (r.kept, r.dropped, r.detected,
+                               r.per_block_new)
+        assert graded["numpy"] == graded["event"]
+
+
+@needs_numpy
+class TestBackendSelection:
+    def test_registered_and_resolvable(self):
+        assert "numpy" in available_backends()
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_make_simulator(self):
+        from repro.simulation.numpy_backend import NumpyFrameSimulator
+
+        sim = make_simulator(s27(), width=8, backend="numpy")
+        assert isinstance(sim, NumpyFrameSimulator)
+
+    def test_env_selection(self, monkeypatch):
+        from repro.simulation.logic_sim import BACKEND_ENV
+        from repro.simulation.numpy_backend import NumpyFrameSimulator
+
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        sim = make_simulator(s27(), width=2)
+        assert isinstance(sim, NumpyFrameSimulator)
+
+    def test_program_shared_across_shapes(self):
+        # one program serves every injection shape — the structural
+        # advantage over codegen's kernel-per-signature
+        from repro.simulation.numpy_backend import program_for
+
+        cc = compile_circuit(s27())
+        i1 = [injection_for(cc, Fault("G10", 0), 1)]
+        i2 = [injection_for(cc, Fault("G11", 1), 1),
+              injection_for(cc, Fault("G10", 0), 2)]
+        a = make_simulator(cc, width=4, injections=i1, backend="numpy")
+        b = make_simulator(cc, width=4, injections=i2, backend="numpy")
+        assert a._prog is b._prog
+        assert program_for(cc) is a._prog
+
+
+class TestFallbackWithoutNumpy:
+    """The backend degrades, never crashes, when numpy is absent."""
+
+    def _hide_numpy(self, monkeypatch):
+        import repro.simulation.logic_sim as ls
+
+        # a None entry makes ``import numpy`` raise ImportError; dropping
+        # the backend module + registration forces a fresh lazy load
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        monkeypatch.delitem(
+            sys.modules, "repro.simulation.numpy_backend", raising=False
+        )
+        monkeypatch.delitem(ls._BACKENDS, "numpy", raising=False)
+
+    def test_resolve_falls_back_with_warning(self, monkeypatch):
+        self._hide_numpy(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_backend("numpy") == "codegen"
+
+    def test_make_simulator_degrades(self, monkeypatch):
+        from repro.simulation.codegen import CodegenFrameSimulator
+
+        self._hide_numpy(monkeypatch)
+        with pytest.warns(RuntimeWarning):
+            sim = make_simulator(s27(), width=4, backend="numpy")
+        assert isinstance(sim, CodegenFrameSimulator)
+
+    def test_fault_simulator_degrades(self, monkeypatch):
+        self._hide_numpy(monkeypatch)
+        with pytest.warns(RuntimeWarning):
+            sim = FaultSimulator(s27(), width=8, backend="numpy")
+        assert sim.backend == "codegen"
+        res = sim.run([[1, 0, 1, 1]], full_fault_list(s27())[:4])
+        assert res.good_outputs
+
+    @needs_numpy
+    def test_direct_construction_raises(self, monkeypatch):
+        import repro.simulation.numpy_backend as npb
+
+        monkeypatch.setattr(npb, "np", None)
+        with pytest.raises(BackendUnavailableError, match="numpy"):
+            npb.NumpyFrameSimulator(compile_circuit(s27()), width=4)
+
+    @needs_numpy
+    def test_available_backends_lists_numpy(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no fallback warning expected
+            assert "numpy" in available_backends()
