@@ -1,14 +1,16 @@
-"""Gate a fresh ``BENCH_simulation.json`` against a committed baseline.
+"""Gate a fresh benchmark JSON against a committed baseline.
 
 Usage::
 
     python benchmarks/check_regression.py NEW_JSON BASELINE_JSON \
         [--min-ratio 0.8]
+    python benchmarks/check_regression.py BENCH_campaign.json \
+        [BASELINE_JSON] --campaign
 
-The benchmark job regenerates ``BENCH_simulation.json`` by running the
-parallelism/backend ablation, then calls this script with the fresh file
-and the baseline committed at the repository root.  The gate fails (exit
-status 1) when:
+Two modes.  The default gates ``BENCH_simulation.json``: the benchmark
+job regenerates it by running the parallelism/backend ablation, then
+calls this script with the fresh file and the baseline committed at the
+repository root.  The gate fails (exit status 1) when:
 
 * the fresh codegen-vs-event speedup at width 64 drops below
   ``--min-ratio`` of the baseline's — i.e. the generated kernels lost a
@@ -25,6 +27,21 @@ those metrics existed are tolerated.  Raw per-width timings are printed
 for context but not gated: absolute seconds vary with runner hardware,
 while backend *ratios* are measured on the same machine in the same run
 and are therefore stable.
+
+``--campaign`` gates ``BENCH_campaign.json`` instead.  Its floors are
+absolute, not baseline-relative, because speedups are already
+self-normalized (4-worker wall over 1-worker wall, same machine, same
+run):
+
+* drill-mode 4-worker speedup must clear ``--min-drill-speedup``
+  (default 2.0) — drill items are concurrent sleeps, so this holds on
+  any host and isolates orchestration overhead;
+* real-ATPG 4-worker speedup must clear ``--min-real-speedup`` (default
+  2.5) — but only when the fresh file's recorded ``cores`` is at least
+  4.  Real items are CPU-bound: on a smaller host the floor is
+  physically unreachable and the gate prints SKIP instead of failing.
+
+A baseline, when given, is printed for context only.
 """
 
 from __future__ import annotations
@@ -122,10 +139,82 @@ def compare(
     return 0
 
 
+def compare_campaign(
+    new: Dict[str, Any],
+    baseline: Dict[str, Any] | None,
+    min_drill_speedup: float,
+    min_real_speedup: float,
+) -> int:
+    """Gate ``BENCH_campaign.json``; return a process exit status."""
+    cores = int(new.get("cores", 0))
+    drill = float(new["speedup_workers4"])
+    real = new.get("real_atpg", {})
+    real_speedup = float(real.get("speedup", {}).get("4", 0.0))
+    failures = []
+
+    print(f"campaign scaling gate (recorded on a {cores}-core host):")
+    print(
+        f"  drill 4-worker speedup: {drill:.2f}x "
+        f"(floor {min_drill_speedup:.2f})"
+    )
+    if baseline is not None and "speedup_workers4" in baseline:
+        print(
+            f"    baseline: {float(baseline['speedup_workers4']):.2f}x "
+            "(informational)"
+        )
+    if drill < min_drill_speedup:
+        failures.append(
+            f"drill speedup {drill:.2f}x fell below the "
+            f"{min_drill_speedup:.2f}x floor — orchestration overhead "
+            "(leases, journal, heartbeats) grew"
+        )
+
+    phases = real.get("phase_seconds", {}).get("4", {})
+    if phases:
+        print(
+            "  real-ATPG 4-worker phases: "
+            + "  ".join(f"{k} {v:.2f}s" for k, v in sorted(phases.items()))
+        )
+    if cores >= 4:
+        print(
+            f"  real-ATPG 4-worker speedup: {real_speedup:.2f}x "
+            f"(floor {min_real_speedup:.2f})"
+        )
+        if real_speedup < min_real_speedup:
+            failures.append(
+                f"real-ATPG speedup {real_speedup:.2f}x fell below the "
+                f"{min_real_speedup:.2f}x floor — the warm-fork pool "
+                "stopped paying for itself"
+            )
+    else:
+        print(
+            f"  real-ATPG 4-worker speedup: {real_speedup:.2f}x "
+            f"(SKIP: floor needs >=4 cores, file was recorded on {cores})"
+        )
+
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if failures:
+        return 1
+    print("  PASS")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("new", help="freshly generated BENCH_simulation.json")
-    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("new", help="freshly generated benchmark JSON")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="committed baseline JSON (required without --campaign)",
+    )
+    parser.add_argument(
+        "--campaign",
+        action="store_true",
+        help="gate BENCH_campaign.json with absolute speedup floors "
+        "instead of BENCH_simulation.json against a baseline",
+    )
     parser.add_argument(
         "--min-ratio",
         type=float,
@@ -138,7 +227,30 @@ def main(argv=None) -> int:
         default=3.0,
         help="minimum numpy-over-codegen grading speedup (default 3.0)",
     )
+    parser.add_argument(
+        "--min-drill-speedup",
+        type=float,
+        default=2.0,
+        help="--campaign: minimum drill-mode 4-worker speedup "
+        "(default 2.0)",
+    )
+    parser.add_argument(
+        "--min-real-speedup",
+        type=float,
+        default=2.5,
+        help="--campaign: minimum real-ATPG 4-worker speedup, gated "
+        "only when the file's cores >= 4 (default 2.5)",
+    )
     args = parser.parse_args(argv)
+    if args.campaign:
+        return compare_campaign(
+            load(args.new),
+            load(args.baseline) if args.baseline else None,
+            args.min_drill_speedup,
+            args.min_real_speedup,
+        )
+    if args.baseline is None:
+        parser.error("baseline JSON is required without --campaign")
     return compare(
         load(args.new),
         load(args.baseline),

@@ -1,16 +1,25 @@
-"""Campaign orchestration scaling: wall clock vs worker count.
+"""Campaign scaling: wall clock vs worker count, drill and real ATPG.
 
-Two measurements over a three-circuit campaign:
+Two measurements, both written to ``BENCH_campaign.json``:
 
-* **drill mode** (the gated headline): every work item is replaced by a
-  fixed-duration synthetic workload (``synthetic_item_seconds``), so the
-  numbers isolate the orchestration layer — dispatch, heartbeats,
-  journaling, merge — from ATPG cost *and* from how many cores the runner
-  happens to have.  A 4-worker campaign must clear 2x over 1 worker.
-* **real ATPG** (reported, not gated): a small s27 campaign at 1 and 2
-  workers.  On a single-core runner the CPU-bound speedup is physically
-  capped at ~1x; the number is recorded alongside the core count so
-  multi-core runs are interpretable.
+* **drill mode**: every work item is replaced by a fixed-duration
+  synthetic workload (``synthetic_item_seconds``), so the numbers isolate
+  the orchestration layer — leases, heartbeats, journaling, merge — from
+  ATPG cost *and* from how many cores the runner happens to have (the
+  sleeps overlap even on one core).  A 4-worker campaign must clear 2x
+  over 1 worker, always.
+* **real ATPG**: s298 at per-fault granularity under the warm-fork pool
+  with live knowledge broadcast — the configuration the tentpole exists
+  for.  s27 (~0.3 s wall) is far too small to amortize fork cost; s298
+  with ~100 per-fault items gives every worker a meaningful share.  The
+  4-worker speedup is **gated at 2.5x when the host has ≥4 cores** (CI
+  runners do); on smaller hosts the CPU-bound speedup is physically
+  capped, so the number is recorded with the core count and gated by
+  ``check_regression.py --campaign`` only when it is meaningful.
+
+Per-phase (warm/fork/solve/merge) wall times for every worker count land
+in the JSON, so a regression can be attributed — e.g. fork cost growing
+with worker count means warm state stopped being inherited.
 
 Results land in ``benchmarks/out/campaign_scaling.txt`` and the
 machine-readable ``BENCH_campaign.json`` at the repository root.
@@ -29,6 +38,10 @@ from .conftest import write_artifact
 
 WORKER_COUNTS = [1, 2, 4]
 
+#: 4-worker speedup floors (see module docstring for when each applies).
+DRILL_TARGET = 2.0
+REAL_TARGET = 2.5
+
 #: Drill campaign: 3 circuits x 4 items, each a fixed 0.25 s workload.
 DRILL_SPEC = dict(
     circuits=("s27", "s298", "s344"),
@@ -39,13 +52,19 @@ DRILL_SPEC = dict(
     synthetic_item_seconds=0.25,
 )
 
-#: Real-ATPG campaign (small, ungated): full s27.
+#: Real-ATPG campaign: s298, per-fault items, broadcast on — the
+#: warm-fork pool's target configuration.  passes/backtracks trimmed so
+#: one worker finishes in tens of seconds while each fault still does
+#: real deterministic + GA work.
 REAL_SPEC = dict(
-    circuits=("s27",),
+    circuits=("s298",),
     name="scaling-real",
     seed=2,
-    shard_size=8,
-    passes=2,
+    shard_size=1,
+    passes=1,
+    backtracks=50,
+    fault_limit=96,
+    knowledge_broadcast=True,
 )
 
 
@@ -56,71 +75,125 @@ def run_timed(spec_kwargs, journal, workers):
     return time.perf_counter() - start, result
 
 
+def phase_dict(result):
+    return {name: round(seconds, 4)
+            for name, seconds in sorted(result.phase_times.items())}
+
+
 def test_campaign_worker_scaling(tmp_path):
+    cores = os.cpu_count() or 1
+
     drill = {}
-    items = None
+    drill_items = None
     for workers in WORKER_COUNTS:
         seconds, result = run_timed(
             DRILL_SPEC, tmp_path / f"drill{workers}.jsonl", workers
         )
         drill[workers] = seconds
-        items = result.items_done
+        drill_items = result.items_done
         assert result.items_failed == 0
 
     real = {}
-    for workers in (1, 2):
+    real_phases = {}
+    real_coverage = {}
+    real_items = None
+    for workers in WORKER_COUNTS:
         seconds, result = run_timed(
             REAL_SPEC, tmp_path / f"real{workers}.jsonl", workers
         )
         real[workers] = seconds
-        assert result.fault_coverage == 1.0
+        real_phases[workers] = phase_dict(result)
+        real_coverage[workers] = result.fault_coverage
+        real_items = result.items_done
+        assert result.items_failed == 0
+        # broadcast trades bit-equality for speed, but shared facts are
+        # sound: coverage must not collapse when workers are added
+        assert abs(result.fault_coverage - real_coverage[1]) <= 0.05
 
-    speedups = {w: drill[1] / drill[w] for w in WORKER_COUNTS}
+    drill_speedups = {w: drill[1] / drill[w] for w in WORKER_COUNTS}
+    real_speedups = {w: real[1] / real[w] for w in WORKER_COUNTS}
+
     lines = [
-        f"Campaign orchestration scaling — {items} drill items "
-        f"({DRILL_SPEC['synthetic_item_seconds']} s each) over "
-        f"{len(DRILL_SPEC['circuits'])} circuits, "
-        f"host cores: {os.cpu_count()}:",
+        f"Campaign scaling — host cores: {cores}",
+        f"drill: {drill_items} items x "
+        f"{DRILL_SPEC['synthetic_item_seconds']} s over "
+        f"{len(DRILL_SPEC['circuits'])} circuits",
     ]
     for workers in WORKER_COUNTS:
         lines.append(
             f"  {workers} worker(s): {drill[workers]:6.2f} s wall "
-            f"({speedups[workers]:4.2f}x)"
+            f"({drill_speedups[workers]:4.2f}x)"
         )
-    verdict = "PASS" if speedups[4] >= 2.0 else "FAIL"
+    drill_verdict = "PASS" if drill_speedups[4] >= DRILL_TARGET else "FAIL"
     lines.append(
-        f"  [{verdict}] 4 workers are {speedups[4]:.2f}x faster than 1 "
-        "(target: 2x — orchestration overhead stays small)"
+        f"  [{drill_verdict}] 4 workers are {drill_speedups[4]:.2f}x "
+        f"faster than 1 (target: {DRILL_TARGET}x — orchestration "
+        "overhead stays small)"
     )
     lines.append(
-        f"  real ATPG (s27): 1 worker {real[1]:.2f} s, "
-        f"2 workers {real[2]:.2f} s "
-        f"({real[1] / real[2]:.2f}x; CPU-bound, core-count limited)"
+        f"real ATPG: s298, {real_items} per-fault items, warm fork + "
+        "broadcast"
     )
+    for workers in WORKER_COUNTS:
+        phases = real_phases[workers]
+        lines.append(
+            f"  {workers} worker(s): {real[workers]:6.2f} s wall "
+            f"({real_speedups[workers]:4.2f}x)  "
+            f"warm {phases['warm_s']:.2f}  fork {phases['fork_s']:.2f}  "
+            f"solve {phases['solve_s']:.2f}  merge {phases['merge_s']:.2f}"
+        )
+    if cores >= 4:
+        real_verdict = "PASS" if real_speedups[4] >= REAL_TARGET else "FAIL"
+        lines.append(
+            f"  [{real_verdict}] 4 workers are {real_speedups[4]:.2f}x "
+            f"faster than 1 (target: {REAL_TARGET}x)"
+        )
+    else:
+        lines.append(
+            f"  [SKIP] {real_speedups[4]:.2f}x at 4 workers — "
+            f"{REAL_TARGET}x gate needs >=4 cores, host has {cores}"
+        )
     text = "\n".join(lines)
     print("\n" + text)
     write_artifact("campaign_scaling.txt", text)
 
     payload = {
         "schema": "repro-bench-campaign/v1",
-        "cores": os.cpu_count(),
+        "cores": cores,
         "drill": {
             "circuits": list(DRILL_SPEC["circuits"]),
-            "items": items,
+            "items": drill_items,
             "item_seconds": DRILL_SPEC["synthetic_item_seconds"],
             "wall_seconds": {str(w): drill[w] for w in WORKER_COUNTS},
-            "speedup": {str(w): speedups[w] for w in WORKER_COUNTS},
+            "speedup": {str(w): drill_speedups[w] for w in WORKER_COUNTS},
         },
         "real_atpg": {
             "circuits": list(REAL_SPEC["circuits"]),
-            "wall_seconds": {str(w): real[w] for w in sorted(real)},
-            "speedup_2_workers": real[1] / real[2],
+            "items": real_items,
+            "passes": REAL_SPEC["passes"],
+            "backtracks": REAL_SPEC["backtracks"],
+            "fault_limit": REAL_SPEC["fault_limit"],
+            "broadcast": REAL_SPEC["knowledge_broadcast"],
+            "wall_seconds": {str(w): real[w] for w in WORKER_COUNTS},
+            "speedup": {str(w): real_speedups[w] for w in WORKER_COUNTS},
+            "phase_seconds": {
+                str(w): real_phases[w] for w in WORKER_COUNTS
+            },
+            "coverage": {
+                str(w): round(real_coverage[w], 6) for w in WORKER_COUNTS
+            },
         },
-        "speedup_workers4": speedups[4],
+        "speedup_workers4": drill_speedups[4],
+        "real_speedup_workers4": real_speedups[4],
     }
     Path(__file__).parent.parent.joinpath("BENCH_campaign.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
-    assert speedups[4] >= 2.0, (
-        f"orchestration overhead ate the speedup: {speedups[4]:.2f}x"
+    assert drill_speedups[4] >= DRILL_TARGET, (
+        f"orchestration overhead ate the speedup: {drill_speedups[4]:.2f}x"
     )
+    if cores >= 4:
+        assert real_speedups[4] >= REAL_TARGET, (
+            f"real-ATPG 4-worker speedup {real_speedups[4]:.2f}x is below "
+            f"the {REAL_TARGET}x floor on a {cores}-core host"
+        )

@@ -2,18 +2,27 @@
 
 A *campaign* runs the hybrid test generator over many circuits' fault
 lists as a fleet of bounded work items: each circuit's collapsed fault
-list is partitioned into shards, each shard becomes a work item with a
-deterministic seed, and items execute inline or across forked worker
-processes with per-item timeouts, heartbeats, and bounded retries.
-Every state transition lands in an append-only JSONL journal, so a
-campaign killed at any instant resumes to the same final test set and
-coverage an uninterrupted run would have produced.  The merge stage
-re-fault-simulates all accepted sequences across shards, crediting
-incidental detections and dropping redundant sequences.
+list is partitioned into per-fault items (or larger shards) with
+deterministic seeds, and items execute inline or across a pool of forked
+worker processes with per-item timeouts, heartbeats, and bounded
+retries.  The pool is warm-forked — the parent compiles circuits,
+computes SCOAP, collapses faults, and warms simulation kernels *before*
+forking (:mod:`~repro.campaign.warm`), so workers inherit everything
+copy-on-write — and dispatch is lease-based work stealing: small
+adaptive batches per worker, revoked and reassigned when a worker runs
+dry.  With ``knowledge_broadcast`` on, workers additionally share proven
+justification facts through a live side channel
+(:mod:`repro.knowledge.broadcast`).  Every state transition lands in an
+append-only JSONL journal, so a campaign killed at any instant resumes
+to the same final test set and coverage an uninterrupted run would have
+produced.  The merge stage re-fault-simulates all accepted sequences
+across shards, crediting incidental detections and dropping redundant
+sequences.
 """
 
 from .journal import JOURNAL_SCHEMA, Journal, JournalState, read_events
 from .merge import CampaignResult, CircuitMergeResult, merge_campaign
+from .warm import CampaignWarmState, CircuitWarmState
 from .queue import (
     ItemState,
     WorkItem,
@@ -31,7 +40,9 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "CampaignWarmState",
     "CircuitMergeResult",
+    "CircuitWarmState",
     "ItemOutcome",
     "ItemState",
     "JOURNAL_SCHEMA",

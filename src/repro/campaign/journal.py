@@ -18,8 +18,17 @@ Event types (all carry ``ts``):
 ``heartbeat``       — a worker's liveness beacon for its running item.
 ``item_done``       — attempt finished; carries the full item payload.
 ``item_failed``     — attempt raised or timed out; carries the error.
-``item_interrupted``— a worker died mid-item; the item was requeued.
+``item_interrupted``— a worker held the item (running or leased) when it
+                      died or was revoked; the item was requeued without
+                      consuming an attempt.
+``lease``           — the runner granted a worker a batch of items.
+``steal``           — a worker honoured a revoke; the named items went
+                      back to the shared queue for reassignment.
 ``merged``          — the merge stage ran; carries the campaign summary.
+
+``lease`` and ``steal`` are diagnostic: replay reconstructs state from
+the ``item_*`` events alone (unknown or extra event types are ignored),
+so journals from older runners resume under newer ones and vice versa.
 """
 
 from __future__ import annotations

@@ -73,6 +73,8 @@ class CampaignResult:
     wall_time_s: float = 0.0
     knowledge: Dict[str, StateKnowledge] = field(default_factory=dict)
     knowledge_stats: Dict[str, int] = field(default_factory=dict)
+    #: runner lifecycle timing: warm / fork / solve / merge wall seconds
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_faults(self) -> int:
@@ -118,6 +120,10 @@ class CampaignResult:
             "spec_hash": self.spec_hash,
             "items_done": self.items_done,
             "items_failed": self.items_failed,
+            "phase_times": {
+                name: round(seconds, 3)
+                for name, seconds in sorted(self.phase_times.items())
+            },
             "total_faults": self.total_faults,
             "detected": self.detected,
             "vectors": self.vectors,

@@ -65,7 +65,20 @@ class WorkItem:
 
 
 def shard_faults(spec: CampaignSpec, circuit_name: str) -> List[Fault]:
-    """The circuit's target fault list in canonical (sorted) order."""
+    """The circuit's target fault list in canonical (sorted) order.
+
+    Served from the campaign's warm-fork state when one is active for
+    exactly this spec (the registry is spec-hash checked), so pooled
+    workers never re-resolve or re-collapse; the cold path computes the
+    identical list from scratch.
+    """
+    from . import warm  # late import: warm builds on this module
+
+    warm_state = warm.active_for(spec)
+    if warm_state is not None:
+        circuit_state = warm_state.get(circuit_name)
+        if circuit_state is not None:
+            return list(circuit_state.faults)
     faults = collapse_faults(resolve_circuit(circuit_name))
     if spec.fault_limit is not None:
         faults = faults[: spec.fault_limit]
@@ -143,6 +156,16 @@ class WorkQueue:
                 )
         return None
 
+    def take_many(self, limit: int) -> List[WorkItem]:
+        """Claim up to ``limit`` pending items (a lease grant)."""
+        items: List[WorkItem] = []
+        while len(items) < limit:
+            item = self.take()
+            if item is None:
+                break
+            items.append(item)
+        return items
+
     def attempt_of(self, item_id: str) -> int:
         return self._slots[item_id].attempt
 
@@ -210,6 +233,14 @@ class WorkQueue:
         for slot in self._slots.values():
             out[slot.state.value] += 1
         return out
+
+    def pending(self) -> int:
+        """Items currently claimable (the lease-sizing signal)."""
+        return sum(
+            1
+            for slot in self._slots.values()
+            if slot.state is ItemState.PENDING
+        )
 
     def finished(self) -> bool:
         return all(

@@ -1,18 +1,33 @@
-"""Campaign orchestration: the durable, resumable multi-process runner.
+"""Campaign orchestration: the durable, resumable warm-fork runner.
 
 :class:`CampaignRunner` drives a campaign end to end: it builds the
-deterministic work-item catalogue, executes items either inline
-(``workers=1``) or across a pool of forked worker processes, journals
-every state transition durably, and finishes with the merge stage.  The
-parent process never trusts a worker: items are dispatched one at a time
-per worker, liveness is tracked through heartbeats and ``is_alive``, a
-dead worker's in-flight item is requeued (without consuming an attempt,
-so results stay deterministic) and the worker is respawned.
+deterministic work-item catalogue, **warms** every per-circuit artifact
+(compile, SCOAP, fault collapse, kernel compile) in the parent, then
+executes items either inline (``workers=1``) or across a pool of forked
+worker processes that inherit the warm state copy-on-write.  Every state
+transition is journaled durably and the campaign finishes with the merge
+stage.
+
+Dispatch is lease-based work stealing, not static sharding: the parent
+grants each worker a small batch of items (a *lease*, sized to the
+remaining backlog), tops the lease up whenever a worker's unstarted
+backlog runs dry, and — once the shared queue is empty — revokes
+unstarted backlog from a loaded worker to feed an idle one.  A revoke is
+only honoured by the worker itself (it answers with the exact items it
+released, and the parent reassigns only those), so an item can never run
+twice concurrently by protocol; the journal's first-wins rule covers the
+crash races that remain.  With per-fault items (``shard_size=1``, the
+default) one hard fault can no longer straggle a whole shard.
+
+The parent never trusts a worker: liveness is tracked through heartbeats
+and ``is_alive``, a dead worker's in-flight *and leased* items are
+requeued (without consuming an attempt, so results stay deterministic)
+and the worker is respawned with a fresh task queue.
 
 Crash model:
 
 * a *worker* dies (OOM-kill, SIGKILL, segfault) — the runner requeues its
-  item and respawns the worker; the campaign keeps going;
+  items and respawns the worker; the campaign keeps going;
 * an item *fails* (exception) or *times out* — the attempt is journaled
   and the item retries with a deterministically perturbed seed, up to
   ``max_attempts``; the final attempt of a timed-out item keeps its
@@ -25,6 +40,7 @@ Crash model:
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 from queue import Empty
@@ -32,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..clock import monotonic
 from ..knowledge import save_knowledge
+from . import warm
 from .journal import JOURNAL_SCHEMA, Journal, JournalState
 from .merge import CampaignResult, merge_campaign
 from .queue import ItemState, WorkItem, WorkQueue, build_items
@@ -43,6 +60,43 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return None
+
+
+class _WorkerHandle:
+    """Parent-side view of one pooled worker and its lease."""
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+        self.proc: Optional[multiprocessing.process.BaseProcess] = None
+        self.task_q: Any = None
+        #: leased, not yet started: item id -> (item, attempt)
+        self.backlog: Dict[str, Tuple[WorkItem, int]] = {}
+        #: the item the worker said it started, if any
+        self.running: Optional[Tuple[WorkItem, int]] = None
+        #: item ids with an outstanding (unanswered) revoke
+        self.revoking: set = set()
+        self.last_beat: float = 0.0
+
+    @property
+    def stealable(self) -> List[str]:
+        """Backlog ids not already being revoked, steal-victim order."""
+        return [i for i in self.backlog if i not in self.revoking]
+
+    def drop(self, item_id: str) -> None:
+        self.backlog.pop(item_id, None)
+        self.revoking.discard(item_id)
+        if self.running is not None and self.running[0].item_id == item_id:
+            self.running = None
+
+    def unsettled(self) -> List[Tuple[WorkItem, int]]:
+        """Everything the worker holds (for requeue when it dies)."""
+        held = list(self.backlog.values())
+        if self.running is not None:
+            held.append(self.running)
+        return held
+
+    def idle(self) -> bool:
+        return self.running is None and not self.backlog
 
 
 class CampaignRunner:
@@ -63,6 +117,8 @@ class CampaignRunner:
 
     #: replacement workers spawned per original worker before giving up
     MAX_RESPAWNS_PER_WORKER = 4
+    #: cap on items granted in one lease
+    LEASE_MAX = 8
 
     def __init__(
         self,
@@ -84,6 +140,7 @@ class CampaignRunner:
     def run(self, resume: bool = False) -> CampaignResult:
         """Execute the campaign to completion (fresh or resumed)."""
         wall0 = self.clock()
+        phase_times: Dict[str, float] = {}
         items = build_items(self.spec)
         queue = WorkQueue(items, self.spec.max_attempts)
         payloads: Dict[str, Dict[str, Any]] = {}
@@ -116,13 +173,27 @@ class CampaignRunner:
                         for i in items
                     ],
                 })
-            if self.workers == 1 or _fork_context() is None:
-                self._run_inline(queue, payloads, journal)
-            else:
-                self._run_pool(queue, payloads, journal)
-            result = merge_campaign(self.spec, payloads)
+            # warm fork: build every per-circuit artifact once, in the
+            # parent, before any worker exists — children inherit it COW
+            t0 = self.clock()
+            warm_state = warm.CampaignWarmState.build(self.spec)
+            phase_times["warm_s"] = self.clock() - t0
+            with warm.activate(warm_state):
+                t0 = self.clock()
+                if self.workers == 1 or _fork_context() is None:
+                    phase_times["fork_s"] = 0.0
+                    self._run_inline(queue, payloads, journal)
+                else:
+                    self._run_pool(queue, payloads, journal, phase_times)
+                phase_times["solve_s"] = (
+                    self.clock() - t0 - phase_times["fork_s"]
+                )
+                t0 = self.clock()
+                result = merge_campaign(self.spec, payloads)
+                phase_times["merge_s"] = self.clock() - t0
             result.items_failed = len(queue.failed_items())
             result.wall_time_s = self.clock() - wall0
+            result.phase_times = phase_times
             if result.report is not None:
                 result.report.jobs = self.workers
                 result.report.wall_time_s = result.wall_time_s
@@ -153,6 +224,11 @@ class CampaignRunner:
         """Sidecar path: the journal's stem plus ``.knowledge.json``."""
         stem, _ = os.path.splitext(self.journal_path)
         return f"{stem}.knowledge.json"
+
+    def broadcast_dir(self) -> str:
+        """Side-channel directory: the journal's stem plus ``.bcast``."""
+        stem, _ = os.path.splitext(self.journal_path)
+        return f"{stem}.bcast"
 
     @classmethod
     def resume(
@@ -276,82 +352,106 @@ class CampaignRunner:
                          queue, payloads, journal)
 
     # -- pooled execution ----------------------------------------------
+    def _lease_size(self, queue: WorkQueue) -> int:
+        """Adaptive lease: small near the end so stealing stays cheap."""
+        fair = queue.pending() // (2 * self.workers)
+        return max(1, min(self.LEASE_MAX, fair))
+
     def _run_pool(
         self,
         queue: WorkQueue,
         payloads: Dict[str, Dict[str, Any]],
         journal: Journal,
+        phase_times: Dict[str, float],
     ) -> None:
         ctx = _fork_context()
         assert ctx is not None
         result_q = ctx.Queue()
-        task_qs = [ctx.Queue() for _ in range(self.workers)]
-        procs: List[multiprocessing.process.BaseProcess] = []
+        bcast_dir: Optional[str] = None
+        if self.spec.knowledge and self.spec.knowledge_broadcast:
+            bcast_dir = self.broadcast_dir()
+        handles = [_WorkerHandle(wid) for wid in range(self.workers)]
 
-        def spawn(wid: int) -> None:
-            proc = ctx.Process(
+        def spawn(handle: _WorkerHandle) -> None:
+            # a fresh task queue per (re)spawn: leases granted to a dead
+            # worker can never be replayed by its replacement
+            handle.task_q = ctx.Queue()
+            handle.proc = ctx.Process(
                 target=worker_main,
-                args=(wid, task_qs[wid], result_q, self.spec.to_dict(),
-                      self.heartbeat_interval),
+                args=(handle.wid, handle.task_q, result_q,
+                      self.spec.to_dict(), self.heartbeat_interval,
+                      bcast_dir),
                 daemon=True,
             )
-            proc.start()
-            procs[wid] = proc
+            handle.proc.start()
+            handle.last_beat = self.clock()
 
-        procs = [None] * self.workers  # type: ignore[list-item]
-        for wid in range(self.workers):
-            spawn(wid)
+        t0 = self.clock()
+        for handle in handles:
+            spawn(handle)
+        phase_times["fork_s"] = self.clock() - t0
 
-        assignment: List[Optional[Tuple[WorkItem, int]]] = (
-            [None] * self.workers
-        )
-        last_beat = [self.clock()] * self.workers
         respawns = 0
-        bad_messages = 0
         try:
             while True:
-                # dispatch one item per idle, live worker
-                for wid in range(self.workers):
-                    if assignment[wid] is None and procs[wid].is_alive():
-                        item = queue.take()
-                        if item is None:
-                            break
-                        attempt = queue.attempt_of(item.item_id)
-                        assignment[wid] = (item, attempt)
-                        last_beat[wid] = self.clock()
-                        task_qs[wid].put((item, attempt))
-                if queue.finished() and all(a is None for a in assignment):
+                # grant a lease to every live worker whose unstarted
+                # backlog ran dry (prefetch: the grant overlaps the item
+                # the worker is still solving)
+                for handle in handles:
+                    if handle.backlog or not handle.proc.is_alive():
+                        continue
+                    granted = queue.take_many(self._lease_size(queue))
+                    if not granted:
+                        break
+                    lease = [
+                        (item, queue.attempt_of(item.item_id))
+                        for item in granted
+                    ]
+                    for item, attempt in lease:
+                        handle.backlog[item.item_id] = (item, attempt)
+                    handle.last_beat = self.clock()
+                    handle.task_q.put(("lease", lease))
+                    journal.append({
+                        "type": "lease", "worker": handle.wid,
+                        "items": [item.item_id for item, _ in lease],
+                    })
+                self._steal(handles, queue, journal)
+                if queue.finished() and all(h.idle() for h in handles):
                     break
-                self._drain(result_q, assignment, last_beat, queue,
-                            payloads, journal)
-                bad_messages = 0
+                self._drain(result_q, handles, queue, payloads, journal)
                 now = self.clock()
-                for wid in range(self.workers):
-                    held = assignment[wid]
-                    if procs[wid].is_alive():
+                for handle in handles:
+                    if handle.proc.is_alive():
                         if (
-                            held is not None
+                            handle.running is not None
                             and self.hang_timeout_s is not None
-                            and now - last_beat[wid] > self.hang_timeout_s
+                            and now - handle.last_beat > self.hang_timeout_s
                         ):
-                            # hung worker: kill it, retry with a new seed
-                            procs[wid].kill()
-                            procs[wid].join(timeout=5.0)
-                            self._fail(held[0].item_id, held[1], "hung",
+                            # hung worker: kill it, fail the running item
+                            # (consumes an attempt), requeue its backlog
+                            handle.proc.kill()
+                            handle.proc.join(timeout=5.0)
+                            item, attempt = handle.running
+                            self._fail(item.item_id, attempt, "hung",
                                        queue, journal)
-                            assignment[wid] = None
+                            handle.running = None
+                            self._requeue_backlog(handle, queue, journal)
                         else:
                             continue
-                    elif held is not None:
-                        # crashed worker: requeue without burning the
-                        # attempt so the rerun reproduces the same result
-                        journal.append({
-                            "type": "item_interrupted",
-                            "item": held[0].item_id,
-                            "attempt": held[1], "worker": wid,
-                        })
-                        queue.mark_interrupted(held[0].item_id)
-                        assignment[wid] = None
+                    else:
+                        # crashed worker: requeue everything it held
+                        # without burning attempts, so reruns reproduce
+                        # the same results
+                        for item, attempt in handle.unsettled():
+                            journal.append({
+                                "type": "item_interrupted",
+                                "item": item.item_id,
+                                "attempt": attempt, "worker": handle.wid,
+                            })
+                            queue.mark_interrupted(item.item_id)
+                        handle.running = None
+                        handle.backlog.clear()
+                        handle.revoking.clear()
                     if queue.finished():
                         continue  # nothing left for a replacement to do
                     respawns += 1
@@ -360,29 +460,80 @@ class CampaignRunner:
                             "workers keep dying; campaign halted "
                             "(journal is durable — resume when fixed)"
                         )
-                    spawn(wid)
+                    spawn(handle)
         except BaseException:
-            for proc in procs:
-                if proc is not None and proc.is_alive():
-                    proc.terminate()
+            for handle in handles:
+                if handle.proc is not None and handle.proc.is_alive():
+                    handle.proc.terminate()
             raise
         finally:
-            for wid in range(self.workers):
+            for handle in handles:
                 try:
-                    task_qs[wid].put(None)
+                    handle.task_q.put(None)
                 except Exception:
                     pass
-            for proc in procs:
-                if proc is not None:
-                    proc.join(timeout=2.0)
-                    if proc.is_alive():
-                        proc.kill()
+            for handle in handles:
+                if handle.proc is not None:
+                    handle.proc.join(timeout=2.0)
+                    if handle.proc.is_alive():
+                        handle.proc.kill()
+
+    def _requeue_backlog(
+        self, handle: _WorkerHandle, queue: WorkQueue, journal: Journal
+    ) -> None:
+        """Return a dead worker's unstarted lease to the shared queue."""
+        for item, attempt in handle.backlog.values():
+            journal.append({
+                "type": "item_interrupted", "item": item.item_id,
+                "attempt": attempt, "worker": handle.wid,
+            })
+            queue.mark_interrupted(item.item_id)
+        handle.backlog.clear()
+        handle.revoking.clear()
+
+    def _steal(
+        self,
+        handles: List[_WorkerHandle],
+        queue: WorkQueue,
+        journal: Journal,
+    ) -> None:
+        """Revoke backlog from loaded workers to feed starving ones.
+
+        Only fires once the shared queue is dry — before that, a starving
+        worker simply gets a lease.  The revoke is a *request*: items the
+        victim already started are kept, and the parent reassigns only
+        what the victim's ``released`` reply names.
+        """
+        if queue.pending() > 0:
+            return
+        starving = sum(
+            1
+            for h in handles
+            if h.idle() and h.proc is not None and h.proc.is_alive()
+        )
+        if starving == 0:
+            return
+        for victim in sorted(
+            handles, key=lambda h: len(h.backlog), reverse=True
+        ):
+            if starving <= 0:
+                break
+            if victim.proc is None or not victim.proc.is_alive():
+                continue
+            stealable = victim.stealable
+            if not stealable:
+                continue
+            # take the tail half: the head is what the victim runs next
+            count = min(int(math.ceil(len(stealable) / 2)), starving)
+            wanted = stealable[-count:]
+            victim.revoking.update(wanted)
+            victim.task_q.put(("revoke", wanted))
+            starving -= count
 
     def _drain(
         self,
         result_q,
-        assignment: List[Optional[Tuple[WorkItem, int]]],
-        last_beat: List[float],
+        handles: List[_WorkerHandle],
         queue: WorkQueue,
         payloads: Dict[str, Dict[str, Any]],
         journal: Journal,
@@ -391,16 +542,21 @@ class CampaignRunner:
         first = True
         while True:
             try:
-                message = result_q.get(timeout=0.1 if first else 0.0)
+                message = result_q.get(timeout=0.05 if first else 0.0)
             except Empty:
                 return
             except (EOFError, OSError):
                 return  # queue torn by a killed writer; liveness recovers
             first = False
             kind, wid, item_id, data = message
-            last_beat[wid] = self.clock()
+            handle = handles[wid]
+            handle.last_beat = self.clock()
             if kind == "started":
                 attempt, pid = data
+                held = handle.backlog.pop(item_id, None)
+                handle.revoking.discard(item_id)
+                if held is not None:
+                    handle.running = held
                 journal.append({
                     "type": "item_started", "item": item_id,
                     "attempt": attempt, "pid": pid, "worker": wid,
@@ -408,16 +564,33 @@ class CampaignRunner:
             elif kind == "heartbeat":
                 pass  # liveness only; not journaled (fsync traffic)
             elif kind == "done":
-                held = assignment[wid]
-                attempt = held[1] if held else 1
+                running = handle.running
+                attempt = (
+                    running[1]
+                    if running and running[0].item_id == item_id
+                    else 1
+                )
                 self._settle(item_id, attempt, data, queue, payloads,
                              journal)
-                if held is not None and held[0].item_id == item_id:
-                    assignment[wid] = None
+                handle.drop(item_id)
             elif kind == "failed":
-                held = assignment[wid]
-                attempt = held[1] if held else 1
+                running = handle.running
+                attempt = (
+                    running[1]
+                    if running and running[0].item_id == item_id
+                    else 1
+                )
                 if queue.state_of(item_id) is not ItemState.DONE:
                     self._fail(item_id, attempt, data, queue, journal)
-                if held is not None and held[0].item_id == item_id:
-                    assignment[wid] = None
+                handle.drop(item_id)
+            elif kind == "released":
+                released = [i for i in data if i in handle.backlog]
+                handle.revoking.difference_update(data)
+                for released_id in released:
+                    handle.backlog.pop(released_id, None)
+                    queue.mark_interrupted(released_id)
+                if released:
+                    journal.append({
+                        "type": "steal", "worker": wid,
+                        "items": released,
+                    })

@@ -40,7 +40,11 @@ class CampaignSpec:
             benchmark names or ``.bench``/``.v`` paths).
         name: campaign label, recorded in journals and reports.
         seed: base seed; per-item seeds derive from it deterministically.
-        shard_size: maximum collapsed faults per work item.
+        shard_size: maximum collapsed faults per work item.  Defaults to
+            1 — per-fault items — so the pool's work-stealing dispatch
+            can rebalance at the granularity where one hard fault cannot
+            straggle a whole shard.  Larger shards only make sense when
+            journal size matters more than load balance.
         passes: number of schedule passes per item.
         seq_len: GA sequence length ``x`` (0 = per-circuit default,
             ``4 * sequential_depth`` clamped to at least 4).
@@ -70,12 +74,21 @@ class CampaignSpec:
             a ``repro-knowledge/v1`` sidecar next to the journal.
         knowledge_file: optional ``repro-knowledge/v1`` sidecar preloaded
             into every item's store (a fixed input, so determinism holds).
+        knowledge_broadcast: live cross-worker fact sharing.  When on,
+            pooled workers publish proven justified/unjustifiable states
+            to a side channel next to the journal and fold peers' facts
+            into their own stores mid-run.  Facts are sound, so results
+            stay valid — but an item's trajectory then depends on fact
+            arrival timing, so broadcast campaigns trade the strict
+            bit-equality (across worker counts and resumes) of isolated
+            stores for wall-clock speed.  Off by default; lives in the
+            spec because it affects results.
     """
 
     circuits: Tuple[str, ...]
     name: str = "campaign"
     seed: int = 0
-    shard_size: int = 32
+    shard_size: int = 1
     passes: int = 3
     seq_len: int = 0
     time_scale: Optional[float] = None
@@ -89,6 +102,7 @@ class CampaignSpec:
     synthetic_item_seconds: Optional[float] = None
     knowledge: bool = True
     knowledge_file: Optional[str] = None
+    knowledge_broadcast: bool = False
 
     def __post_init__(self) -> None:
         if not self.circuits:
@@ -125,6 +139,10 @@ class CampaignSpec:
         data = asdict(self)
         data["circuits"] = list(self.circuits)
         data["schema"] = SPEC_SCHEMA
+        # serialized only when on: specs that never opt in keep the hash
+        # (and journal identity) they had before the field existed
+        if not self.knowledge_broadcast:
+            del data["knowledge_broadcast"]
         return data
 
     @classmethod

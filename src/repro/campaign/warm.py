@@ -1,0 +1,163 @@
+"""Warm-fork state: build per-circuit ATPG artifacts once, before forking.
+
+A cold campaign worker re-derives everything per item: resolve the
+circuit, compile it, compute SCOAP testability, collapse the fault
+universe, and (under the codegen backend) compile simulation kernels.
+For per-fault work items that fixed cost dwarfs the ATPG itself.  The
+warm-fork protocol moves all of it into the *parent* before any worker
+exists:
+
+1. the runner calls :meth:`CampaignWarmState.build` — one pass over the
+   spec's circuits that resolves, compiles, computes testability,
+   collapses faults, parses the knowledge preload sidecar, and runs one
+   fault-free frame so the backend's kernels are compiled;
+2. the runner enters :func:`activate`, installing the state in this
+   module's registry, **then** forks its workers — children inherit the
+   registry (and every compiled artifact it references) copy-on-write;
+3. :func:`~repro.campaign.queue.shard_faults` and
+   :func:`~repro.campaign.worker.run_item` consult :func:`active` and
+   skip straight to solving when the warm state covers their circuit.
+
+Keeping the *same* ``Circuit`` object alive matters more than it looks:
+:func:`~repro.simulation.compiled.compile_circuit` caches by object
+identity, so every downstream layer that accepts a ``Circuit`` (the
+driver, the merge stage's grader) transparently reuses the warm compile
+without any plumbing.
+
+The warm state is purely an accelerator: every artifact it holds is a
+deterministic function of the spec, so an item computes identical results
+with or without it (``run_item`` inline, in a cold worker, and in a warm
+worker all agree bit for bit).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..atpg.scoap import Testability, compute_testability
+from ..circuit.netlist import Circuit
+from ..circuits.resolve import resolve_circuit
+from ..faults.collapse import collapse_faults
+from ..faults.model import Fault
+from ..knowledge import KnowledgeError, StateKnowledge, load_store_for
+from ..simulation.compiled import CompiledCircuit, compile_circuit
+from ..simulation.fault_sim import FaultSimulator
+from .spec import CampaignSpec
+
+
+@dataclass
+class CircuitWarmState:
+    """Everything per-item setup would otherwise recompute for a circuit.
+
+    Attributes:
+        circuit: the resolved circuit — the canonical object identity all
+            compile-cache hits key off.
+        cc: its compiled form.
+        testability: SCOAP measures.
+        faults: the collapsed fault list with the spec's ``fault_limit``
+            applied — the campaign's target list in canonical order.
+        knowledge_doc: the parsed ``repro-knowledge/v1`` store for this
+            circuit from the spec's preload sidecar, or ``None``.  Kept
+            serialized: each item deserializes its own private copy, so
+            warm preloading cannot leak state between items.
+    """
+
+    circuit: Circuit
+    cc: CompiledCircuit
+    testability: Testability
+    faults: List[Fault]
+    knowledge_doc: Optional[Dict[str, Any]] = None
+
+    def knowledge_store(self) -> Optional[StateKnowledge]:
+        """A fresh, private preloaded store (or None without a preload)."""
+        if self.knowledge_doc is None:
+            return None
+        return StateKnowledge.from_dict(self.knowledge_doc)
+
+
+class CampaignWarmState:
+    """Per-circuit warm artifacts for one campaign spec."""
+
+    def __init__(
+        self, spec_hash: str, circuits: Dict[str, CircuitWarmState]
+    ) -> None:
+        self.spec_hash = spec_hash
+        self.circuits = circuits
+
+    @classmethod
+    def build(cls, spec: CampaignSpec) -> "CampaignWarmState":
+        """Resolve, compile, and warm every circuit the spec targets.
+
+        Skipped entirely in drill mode (``synthetic_item_seconds``):
+        drills measure orchestration, not ATPG, and must not pay compile
+        cost for circuits they never simulate.
+        """
+        circuits: Dict[str, CircuitWarmState] = {}
+        if spec.synthetic_item_seconds is not None:
+            return cls(spec.spec_hash(), circuits)
+        for name in spec.circuits:
+            circuit = resolve_circuit(name)
+            cc = compile_circuit(circuit)
+            faults = collapse_faults(circuit)
+            if spec.fault_limit is not None:
+                faults = faults[: spec.fault_limit]
+            doc: Optional[Dict[str, Any]] = None
+            if spec.knowledge and spec.knowledge_file:
+                try:
+                    store = load_store_for(
+                        spec.knowledge_file, circuit.name, "unconstrained"
+                    )
+                except (OSError, KnowledgeError):
+                    store = None  # an accelerator, never a failed campaign
+                if store is not None:
+                    doc = store.to_dict()
+            # one fault-free frame forces the backend to build (or load
+            # from REPRO_KERNEL_CACHE) its kernels now, pre-fork
+            sim = FaultSimulator(cc, width=spec.width, backend=spec.backend)
+            sim.simulate_good([[0] * len(circuit.inputs)])
+            circuits[name] = CircuitWarmState(
+                circuit=circuit,
+                cc=cc,
+                testability=compute_testability(cc),
+                faults=faults,
+                knowledge_doc=doc,
+            )
+        return cls(spec.spec_hash(), circuits)
+
+    def get(self, circuit_name: str) -> Optional[CircuitWarmState]:
+        return self.circuits.get(circuit_name)
+
+
+#: The process's active warm state (inherited by forked workers).
+_ACTIVE: Optional[CampaignWarmState] = None
+
+
+def active_for(spec: CampaignSpec) -> Optional[CampaignWarmState]:
+    """The active warm state, iff it was built from exactly this spec.
+
+    The spec-hash check makes a stale registry impossible: warm artifacts
+    built for one campaign (e.g. a different ``fault_limit``) can never
+    leak into another's fault catalogue.
+    """
+    if _ACTIVE is not None and _ACTIVE.spec_hash == spec.spec_hash():
+        return _ACTIVE
+    return None
+
+
+@contextlib.contextmanager
+def activate(state: CampaignWarmState) -> Iterator[CampaignWarmState]:
+    """Install ``state`` as the process's warm registry for the block.
+
+    The runner enters this *before* forking workers, so children are born
+    with the registry populated; the previous registry is restored on
+    exit (supports nested campaigns in tests).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = state
+    try:
+        yield state
+    finally:
+        _ACTIVE = previous

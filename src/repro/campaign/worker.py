@@ -1,4 +1,4 @@
-"""Campaign worker processes: bounded, heartbeat-emitting item execution.
+"""Campaign worker processes: leased, heartbeat-emitting item execution.
 
 :func:`run_item` is the single place a work item turns into ATPG results —
 the runner calls it inline in single-worker mode and
@@ -9,6 +9,17 @@ fault shard and runs the spec's schedule under the item's wall-clock
 deadline; the worker's heartbeat thread keeps beaconing while the (single
 threaded, GIL-holding) ATPG loop runs, so the parent can tell a slow item
 from a dead process.
+
+Pooled workers speak the lease protocol: the parent grants small batches
+of items (``("lease", [(item, attempt), ...])``), the worker holds them in
+a local backlog and runs them in order, and the parent may claw unstarted
+backlog back (``("revoke", [item_ids])``) to feed an idle peer — the
+worker answers with a ``released`` message naming exactly the items it
+gave up, and those are the only items the parent may reassign.  Every
+artifact an item needs (compiled circuit, SCOAP, collapsed faults, the
+knowledge preload) is served from the parent's pre-fork warm state
+(:mod:`repro.campaign.warm`) when present, so a per-fault item pays only
+for solving.
 """
 
 from __future__ import annotations
@@ -16,13 +27,22 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import deque
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from queue import Empty
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..clock import monotonic
 from ..hybrid.driver import HybridTestGenerator
 from ..circuits.resolve import resolve_circuit
-from ..knowledge import KnowledgeError, StateKnowledge, load_store_for
+from ..knowledge import (
+    BroadcastKnowledge,
+    KnowledgeChannel,
+    KnowledgeError,
+    StateKnowledge,
+    load_store_for,
+)
+from . import warm
 from .queue import WorkItem, _hash_faults, shard_faults
 from .spec import CampaignError, CampaignSpec
 
@@ -55,12 +75,57 @@ class ItemOutcome:
         return asdict(self)
 
 
+def _item_knowledge(
+    spec: CampaignSpec,
+    circuit_name: str,
+    warm_circuit: Optional[warm.CircuitWarmState],
+    channel: Optional[KnowledgeChannel],
+) -> "bool | StateKnowledge":
+    """The knowledge store one item should run with.
+
+    Isolated-store semantics (the default): each item owns a private
+    store, optionally preloaded from the spec's fixed sidecar, so reruns
+    and resumes reproduce results exactly.  With broadcast on and a
+    channel available, the private store additionally publishes novel
+    facts and folds peers' — sound, but timing-dependent.
+    """
+    if not spec.knowledge:
+        return False
+    preloaded: Optional[StateKnowledge] = None
+    if warm_circuit is not None:
+        preloaded = warm_circuit.knowledge_store()
+    elif spec.knowledge_file:
+        try:
+            preloaded = load_store_for(
+                spec.knowledge_file, circuit_name, "unconstrained"
+            )
+        except (OSError, KnowledgeError):
+            preloaded = None  # an accelerator, never a failed item
+    if channel is not None and spec.knowledge_broadcast:
+        store = BroadcastKnowledge(
+            circuit=circuit_name,
+            fingerprint="unconstrained",
+            channel=channel,
+        )
+        if preloaded is not None:
+            store.preload(preloaded)
+        return store
+    if preloaded is not None:
+        return preloaded
+    return True
+
+
 def run_item(
     spec: CampaignSpec,
     item: WorkItem,
     clock: Optional[Callable[[], float]] = None,
+    channel: Optional[KnowledgeChannel] = None,
 ) -> ItemOutcome:
     """Execute one work item; deterministic given the item's seed.
+
+    With ``channel`` set (pooled workers under ``knowledge_broadcast``),
+    the item's store also trades facts with peers — see
+    :mod:`repro.knowledge.broadcast` for the determinism tradeoff.
 
     Raises :class:`CampaignError` when the circuit's current fault list no
     longer matches the hash recorded when the campaign was planned (code
@@ -78,7 +143,12 @@ def run_item(
             total_faults=item.count,
         )
     tick = clock or monotonic
-    circuit = resolve_circuit(item.circuit)
+    warm_state = warm.active_for(spec)
+    warm_circuit = warm_state.get(item.circuit) if warm_state else None
+    if warm_circuit is not None:
+        circuit = warm_circuit.circuit
+    else:
+        circuit = resolve_circuit(item.circuit)
     faults = shard_faults(spec, item.circuit)
     shard = faults[item.start : item.start + item.count]
     if _hash_faults(shard) != item.fault_hash:
@@ -86,19 +156,7 @@ def run_item(
             f"{item.item_id}: fault shard drifted since the campaign was "
             f"planned (hash mismatch) — start a fresh campaign"
         )
-    # Each item owns an isolated knowledge store (optionally preloaded
-    # from the spec's fixed sidecar file): items never see each other's
-    # in-flight facts, so reruns and resumes reproduce results exactly.
-    knowledge: "bool | StateKnowledge" = spec.knowledge
-    if spec.knowledge and spec.knowledge_file:
-        try:
-            preloaded = load_store_for(
-                spec.knowledge_file, circuit.name, "unconstrained"
-            )
-        except (OSError, KnowledgeError):
-            preloaded = None  # an accelerator, never a failed item
-        if preloaded is not None:
-            knowledge = preloaded
+    knowledge = _item_knowledge(spec, circuit.name, warm_circuit, channel)
     driver = HybridTestGenerator(
         circuit,
         seed=item.seed,
@@ -108,6 +166,9 @@ def run_item(
         generator_name="HITEC" if spec.baseline else "GA-HITEC",
         clock=clock,
         knowledge=knowledge,
+        testability=(
+            warm_circuit.testability if warm_circuit is not None else None
+        ),
     )
     deadline = (
         tick() + spec.item_timeout_s
@@ -168,8 +229,16 @@ def worker_main(
     result_q,
     spec_data: Dict[str, Any],
     heartbeat_interval: float = 0.5,
+    broadcast_dir: Optional[str] = None,
 ) -> None:
-    """Worker-process entry point: drain the task queue until poisoned.
+    """Worker-process entry point: serve leases until poisoned.
+
+    Messages from the parent (all on ``task_q``):
+
+    * ``("lease", [(item, attempt), ...])`` — append to the backlog.
+    * ``("revoke", [item_id, ...])`` — give back any of these items that
+      have not started; always answered with one ``released`` message.
+    * ``None`` — drain nothing further and exit.
 
     Messages back to the parent (all on ``result_q``):
 
@@ -177,25 +246,72 @@ def worker_main(
     * ``("heartbeat", worker_id, item_id, None)``
     * ``("done", worker_id, item_id, payload_dict)``
     * ``("failed", worker_id, item_id, error_string)``
+    * ``("released", worker_id, None, [item_id, ...])``
     """
     spec = CampaignSpec.from_dict(spec_data)
-    while True:
-        message = task_q.get()
+    channel: Optional[KnowledgeChannel] = None
+    if broadcast_dir is not None and spec.knowledge_broadcast:
+        channel = KnowledgeChannel(broadcast_dir, f"w{worker_id}")
+    backlog: Deque[Tuple[WorkItem, int]] = deque()
+    poisoned = False
+
+    def ingest(message: Any) -> None:
+        nonlocal poisoned
         if message is None:
+            poisoned = True
             return
-        item, attempt = message
-        result_q.put(("started", worker_id, item.item_id,
-                      (attempt, os.getpid())))
-        beacon = _Heartbeat(result_q, worker_id, item.item_id,
-                            heartbeat_interval)
-        beacon.start()
-        try:
-            outcome = run_item(spec, item)
-            result_q.put(("done", worker_id, item.item_id,
-                          outcome.to_dict()))
-        except Exception as exc:  # noqa: BLE001 — report, don't die
-            result_q.put(("failed", worker_id, item.item_id,
-                          f"{type(exc).__name__}: {exc}"))
-        finally:
-            beacon.stop()
-            beacon.join(timeout=2.0)
+        kind, payload = message
+        if kind == "lease":
+            backlog.extend(payload)
+        elif kind == "revoke":
+            wanted = set(payload)
+            released = [
+                item.item_id
+                for item, _ in backlog
+                if item.item_id in wanted
+            ]
+            if released:
+                kept = [
+                    entry
+                    for entry in backlog
+                    if entry[0].item_id not in set(released)
+                ]
+                backlog.clear()
+                backlog.extend(kept)
+            # always answer, even empty: the parent's steal bookkeeping
+            # must learn which items it may (not) reassign
+            result_q.put(("released", worker_id, None, released))
+
+    try:
+        while True:
+            # absorb everything the parent queued (new leases, revokes)
+            while True:
+                try:
+                    ingest(task_q.get_nowait())
+                except Empty:
+                    break
+            if poisoned and not backlog:
+                return
+            if not backlog:
+                message = task_q.get()  # idle: block for the next grant
+                ingest(message)
+                continue
+            item, attempt = backlog.popleft()
+            result_q.put(("started", worker_id, item.item_id,
+                          (attempt, os.getpid())))
+            beacon = _Heartbeat(result_q, worker_id, item.item_id,
+                                heartbeat_interval)
+            beacon.start()
+            try:
+                outcome = run_item(spec, item, channel=channel)
+                result_q.put(("done", worker_id, item.item_id,
+                              outcome.to_dict()))
+            except Exception as exc:  # noqa: BLE001 — report, don't die
+                result_q.put(("failed", worker_id, item.item_id,
+                              f"{type(exc).__name__}: {exc}"))
+            finally:
+                beacon.stop()
+                beacon.join(timeout=2.0)
+    finally:
+        if channel is not None:
+            channel.close()

@@ -209,6 +209,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         max_attempts=args.max_attempts,
         knowledge=not args.no_knowledge,
         knowledge_file=args.knowledge_from,
+        knowledge_broadcast=args.broadcast,
     )
 
 
@@ -430,8 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="load the campaign spec from a JSON file instead")
     cp.add_argument("--name", default="campaign")
     cp.add_argument("--seed", type=int, default=0)
-    cp.add_argument("--shard-size", type=int, default=32,
-                    help="max faults per work item")
+    cp.add_argument("--shard-size", type=int, default=1,
+                    help="max faults per work item (default 1: per-fault "
+                         "items, the work-stealing pool's native grain)")
     cp.add_argument("--passes", type=int, default=3)
     cp.add_argument("--seq-len", type=int, default=0,
                     help="GA sequence length x (default: 4 x seq. depth)")
@@ -457,6 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--knowledge-from", metavar="PATH",
                     help="preload each item's knowledge store from this "
                          "repro-knowledge/v1 sidecar")
+    cp.add_argument("--broadcast", action="store_true",
+                    help="share proven facts between workers live (faster "
+                         "at >1 workers; results become timing-dependent)")
     _campaign_runner_options(cp)
     cp.set_defaults(func=cmd_campaign_run)
 

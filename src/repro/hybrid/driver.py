@@ -37,6 +37,7 @@ from ..atpg.context import AtpgContext
 from ..atpg.hitec import SequentialTestGenerator, TestGenStatus
 from ..atpg.justify import JustifyResult, justify_state
 from ..atpg.podem import Limits
+from ..atpg.scoap import Testability
 from ..circuit.netlist import Circuit
 from ..clock import monotonic
 from ..faults.model import Fault
@@ -107,6 +108,8 @@ class HybridTestGenerator:
             :class:`~repro.knowledge.StateKnowledge` (e.g. from a campaign
             sidecar) is used directly after a circuit/fingerprint check;
             ``False`` disables reuse entirely.
+        testability: precomputed SCOAP measures (e.g. from a campaign's
+            warm fork state); computed lazily when omitted.
     """
 
     def __init__(
@@ -125,6 +128,7 @@ class HybridTestGenerator:
         telemetry: Optional[Recorder] = None,
         clock: Optional[Callable[[], float]] = None,
         knowledge: "bool | StateKnowledge" = True,
+        testability: Optional[Testability] = None,
     ):
         self.circuit = circuit
         self.seed = seed
@@ -141,6 +145,7 @@ class HybridTestGenerator:
         # this driver builds.
         self.ctx = AtpgContext(
             circuit,
+            testability=testability,
             constraints=self.constraints,
             backend=backend,
             telemetry=telemetry,

@@ -1,0 +1,279 @@
+"""Live cross-worker knowledge broadcast: the campaign side channel.
+
+A campaign's items are isolated by design — each owns a private
+:class:`~repro.knowledge.store.StateKnowledge` so reruns and resumes stay
+deterministic.  That isolation also means worker B keeps re-deriving facts
+worker A already proved.  This module is the opt-in escape hatch
+(``CampaignSpec.knowledge_broadcast``): workers share *proven* facts
+through an append-only side channel while the campaign runs, so a state
+proved justified or unjustifiable by one worker prunes the same search in
+every other worker within seconds, not only at the merge stage.
+
+Layout: the channel is a directory next to the journal
+(``<journal stem>.bcast/``) holding one JSONL file per worker.  Each
+worker appends its own facts to its own file — single-writer files need no
+locking and cannot interleave — and tails every file in the directory
+(its own included, so facts survive item boundaries within a worker).  A
+fact line is self-describing::
+
+    {"v": 1, "circuit": "s298", "fp": "unconstrained",
+     "kind": "justified", "state": [["G10", 1]], "vectors": [[0, 1]]}
+    {"v": 1, "circuit": "s298", "fp": "unconstrained",
+     "kind": "unjustifiable", "state": [["G11", 0]], "depth": null}
+
+Readers tolerate torn tails (a fact that was mid-write when its worker
+died is simply not durable yet) and skip unparseable or mismatched lines:
+the channel is an accelerator, never a correctness dependency.
+
+Determinism caveat: folding peer facts mid-run makes an item's trajectory
+depend on arrival timing.  Facts are *sound* (only proven states travel),
+so results stay valid and the merge re-grades coverage, but broadcast
+campaigns trade the strict crash-resume/worker-count bit-equality of
+isolated stores for wall-clock speed.  That is why broadcast is off by
+default and carried in the spec (it affects results, so a resume must
+know it was on).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from ..clock import monotonic
+from .store import StateKnowledge
+
+#: Version tag on every channel line.
+CHANNEL_VERSION = 1
+
+
+class KnowledgeChannel:
+    """One worker's handle on a broadcast directory.
+
+    Args:
+        directory: the shared channel directory (created if missing).
+        member: this worker's file stem (e.g. ``"w0"``); appends go to
+            ``<directory>/<member>.jsonl``.
+    """
+
+    def __init__(self, directory: str, member: str) -> None:
+        self.directory = directory
+        self.member = member
+        self.path = os.path.join(directory, f"{member}.jsonl")
+        os.makedirs(directory, exist_ok=True)
+        self._handle: Optional[io.TextIOWrapper] = None
+        #: bytes of each channel file already consumed by :meth:`poll`
+        self._offsets: Dict[str, int] = {}
+
+    # -- publishing ----------------------------------------------------
+    def publish(self, fact: Dict[str, Any]) -> None:
+        """Append one fact to this member's file (flushed, not fsynced).
+
+        Losing a fact to a crash only costs a peer an acceleration; facts
+        are re-derivable, so the channel skips the journal's fsync tax.
+        """
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        fact = dict(fact)
+        fact.setdefault("v", CHANNEL_VERSION)
+        self._handle.write(json.dumps(fact, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    # -- tailing -------------------------------------------------------
+    def poll(self) -> List[Dict[str, Any]]:
+        """Every complete fact line appended to the channel since the
+        last poll, across all member files (own file included)."""
+        facts: List[Dict[str, Any]] = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return facts
+        for name in names:
+            if not name.endswith(".jsonl"):
+                continue
+            path = os.path.join(self.directory, name)
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    data = handle.read()
+            except OSError:
+                continue
+            if not data:
+                continue
+            # only consume newline-terminated lines; a torn tail stays
+            # unconsumed and is re-read once its writer finishes it
+            keep = data.rfind(b"\n") + 1
+            self._offsets[path] = offset + keep
+            for line in data[:keep].splitlines():
+                try:
+                    fact = json.loads(line)
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    continue
+                if isinstance(fact, dict) and fact.get("v") == CHANNEL_VERSION:
+                    facts.append(fact)
+        return facts
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "KnowledgeChannel":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class BroadcastKnowledge(StateKnowledge):
+    """A :class:`StateKnowledge` wired to a :class:`KnowledgeChannel`.
+
+    Recording a *novel* fact also publishes it to the channel; lookups
+    first fold any facts peers published since the last poll (rate
+    limited by ``poll_interval`` so the hot justify path stays cheap).
+    Folded facts are recorded through the normal store paths — subsumption
+    and contradiction guards apply — but are never re-published.
+
+    Args:
+        channel: the worker's channel handle.
+        poll_interval: minimum seconds between directory polls.
+        clock: injectable time source (tests drive folding explicitly).
+        (remaining args as for :class:`StateKnowledge`)
+    """
+
+    def __init__(
+        self,
+        circuit: str = "",
+        fingerprint: str = "unconstrained",
+        max_entries: int = 4096,
+        max_seeds: int = 64,
+        channel: Optional[KnowledgeChannel] = None,
+        poll_interval: float = 0.5,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        super().__init__(
+            circuit=circuit,
+            fingerprint=fingerprint,
+            max_entries=max_entries,
+            max_seeds=max_seeds,
+        )
+        self.channel = channel
+        self.poll_interval = poll_interval
+        self.clock = clock
+        self._folding = False
+        self._last_poll = float("-inf")
+        # pick up everything already on the channel at construction, so
+        # an item starts from the campaign's current shared knowledge
+        self.fold()
+
+    # -- recording (publish novel facts) -------------------------------
+    def record_justified(
+        self, required: Mapping[str, int], vectors: Iterable[Iterable[int]]
+    ) -> bool:
+        seq = [list(vec) for vec in vectors]
+        recorded = super().record_justified(required, seq)
+        if recorded and not self._folding and self.channel is not None:
+            self.channel.publish({
+                "circuit": self.circuit,
+                "fp": self.fingerprint,
+                "kind": "justified",
+                "state": [list(pair) for pair in sorted(required.items())],
+                "vectors": seq,
+            })
+            self.stats["broadcast_published"] += 1
+        return recorded
+
+    def record_unjustifiable(
+        self, required: Mapping[str, int], depth: Optional[int]
+    ) -> bool:
+        recorded = super().record_unjustifiable(required, depth)
+        if recorded and not self._folding and self.channel is not None:
+            self.channel.publish({
+                "circuit": self.circuit,
+                "fp": self.fingerprint,
+                "kind": "unjustifiable",
+                "state": [list(pair) for pair in sorted(required.items())],
+                "depth": depth,
+            })
+            self.stats["broadcast_published"] += 1
+        return recorded
+
+    # -- lookups (fold peers' facts first) ------------------------------
+    def lookup_justified(self, required: Mapping[str, int]):
+        self._maybe_fold()
+        return super().lookup_justified(required)
+
+    def lookup_unjustifiable(
+        self, required: Mapping[str, int], max_depth: Optional[int] = None
+    ):
+        self._maybe_fold()
+        return super().lookup_unjustifiable(required, max_depth)
+
+    # -- preloading ----------------------------------------------------
+    def preload(self, store: StateKnowledge) -> None:
+        """Merge a sidecar store without re-publishing its facts.
+
+        Sets :attr:`preloaded` (the GA seed-pool gate) exactly like a
+        directly-deserialized store would; peers already have sidecar
+        facts through their own preload, so publishing them would only
+        produce channel noise.
+        """
+        self._folding = True
+        try:
+            self.merge(store)
+        finally:
+            self._folding = False
+        self.preloaded = True
+
+    # -- folding -------------------------------------------------------
+    def _maybe_fold(self) -> None:
+        if self.channel is None:
+            return
+        now = self.clock()
+        if now - self._last_poll < self.poll_interval:
+            return
+        self.fold()
+
+    def fold(self) -> int:
+        """Ingest every new channel fact now; returns facts folded."""
+        if self.channel is None:
+            return 0
+        self._last_poll = self.clock()
+        folded = 0
+        self._folding = True
+        try:
+            for fact in self.channel.poll():
+                if (
+                    fact.get("circuit") != self.circuit
+                    or fact.get("fp") != self.fingerprint
+                ):
+                    continue
+                try:
+                    state = {
+                        str(name): int(value)
+                        for name, value in fact.get("state", [])
+                    }
+                    if not state:
+                        continue
+                    if fact.get("kind") == "justified":
+                        vectors = [
+                            [int(v) for v in vec]
+                            for vec in fact.get("vectors", [])
+                        ]
+                        if super().record_justified(state, vectors):
+                            folded += 1
+                    elif fact.get("kind") == "unjustifiable":
+                        depth = fact.get("depth")
+                        if super().record_unjustifiable(
+                            state, None if depth is None else int(depth)
+                        ):
+                            folded += 1
+                except (KeyError, TypeError, ValueError):
+                    continue  # malformed fact: skip, never fail the run
+        finally:
+            self._folding = False
+        if folded:
+            self.stats["broadcast_folded"] += folded
+        return folded

@@ -114,6 +114,8 @@ class StateKnowledge:
             "records": 0,
             "podem_pruned": 0,
             "ga_seeded": 0,
+            "broadcast_published": 0,
+            "broadcast_folded": 0,
         }
 
     # -- queries -------------------------------------------------------
@@ -180,14 +182,20 @@ class StateKnowledge:
     # -- recording -----------------------------------------------------
     def record_justified(
         self, required: Mapping[str, int], vectors: Iterable[Iterable[int]]
-    ) -> None:
-        """Record a sequence proven to justify ``required`` from all-X."""
+    ) -> bool:
+        """Record a sequence proven to justify ``required`` from all-X.
+
+        Returns True when the store changed (a new fact, or a shorter
+        sequence for a known one) — broadcast wrappers key off this to
+        publish only novel facts.
+        """
         if not required:
-            return
+            return False
         key = state_key(required)
         seq = [list(vec) for vec in vectors]
         known = self.justified.get(key)
-        if known is None or len(seq) < len(known):
+        recorded = known is None or len(seq) < len(known)
+        if recorded:
             self._evict(self.justified)
             self.justified[key] = seq
             self.stats["records"] += 1
@@ -197,32 +205,35 @@ class StateKnowledge:
         self.unjustifiable.pop(key, None)
         if seq:
             self.add_seed(seq)
+        return recorded
 
     def record_unjustifiable(
         self, required: Mapping[str, int], depth: Optional[int]
-    ) -> None:
+    ) -> bool:
         """Record a proof that ``required`` is unreachable.
 
         ``depth=None`` records an absolute proof (search exhausted with no
         bound biting); an integer records a proof valid for frame bounds
-        up to ``depth``.  Never call this for budget aborts.
+        up to ``depth``.  Never call this for budget aborts.  Returns True
+        when the store changed (new fact or strictly stronger proof).
         """
         if not required:
-            return
+            return False
         key = state_key(required)
         if key in self.justified:
-            return  # contradiction guard: the justified fact wins
+            return False  # contradiction guard: the justified fact wins
         if key in self.unjustifiable:
             known = self.unjustifiable[key]
             if known is None:
-                return  # already an absolute proof
+                return False  # already an absolute proof
             if depth is not None and depth <= known:
-                return  # weaker than the proof already stored
+                return False  # weaker than the proof already stored
             self.unjustifiable[key] = depth
-            return
+            return True
         self._evict(self.unjustifiable)
         self.unjustifiable[key] = depth
         self.stats["records"] += 1
+        return True
 
     def add_seed(self, vectors: Iterable[Iterable[int]]) -> None:
         """Add a successful sequence to the GA seed pool (bounded FIFO)."""

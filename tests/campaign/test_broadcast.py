@@ -1,0 +1,179 @@
+"""Live knowledge broadcast: the channel, the store wrapper, the campaign.
+
+Two guarantees matter: a fact proven by worker A actually prunes work in
+worker B within the same campaign, and broadcast-off (the default)
+reproduces the pre-broadcast trajectory exactly — including the spec
+hash, so existing journals stay resumable.
+"""
+
+import json
+import os
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.knowledge import BroadcastKnowledge, KnowledgeChannel, StateKnowledge
+
+
+def channel_pair(tmp_path):
+    directory = str(tmp_path / "bcast")
+    return (KnowledgeChannel(directory, "w0"),
+            KnowledgeChannel(directory, "w1"))
+
+
+class TestKnowledgeChannel:
+    def test_publish_poll_roundtrip(self, tmp_path):
+        a, b = channel_pair(tmp_path)
+        a.publish({"kind": "justified", "state": [["G10", 1]]})
+        facts = b.poll()
+        assert len(facts) == 1
+        assert facts[0]["kind"] == "justified"
+        assert b.poll() == []  # consumed: offsets advance
+
+    def test_own_facts_visible_to_later_polls(self, tmp_path):
+        a, _ = channel_pair(tmp_path)
+        a.publish({"kind": "justified", "state": [["G10", 1]]})
+        assert len(a.poll()) == 1  # a worker's next item sees them
+
+    def test_torn_tail_not_consumed_until_complete(self, tmp_path):
+        a, b = channel_pair(tmp_path)
+        a.publish({"kind": "justified", "state": [["G10", 1]]})
+        with open(a.path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "justif')  # mid-write crash
+        assert len(b.poll()) == 1  # only the newline-terminated line
+        with open(a.path, "a", encoding="utf-8") as handle:
+            handle.write('ied", "state": [["G11", 0]], "v": 1}\n')
+        assert len(b.poll()) == 1  # the completed tail arrives intact
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        a, b = channel_pair(tmp_path)
+        with open(a.path, "w", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"v": 99, "kind": "justified"}\n')  # wrong version
+        a.publish({"kind": "unjustifiable", "state": [["G11", 0]]})
+        facts = b.poll()
+        assert len(facts) == 1
+        assert facts[0]["kind"] == "unjustifiable"
+
+
+class TestBroadcastKnowledge:
+    def store(self, channel, clock=None):
+        return BroadcastKnowledge(
+            circuit="s27", fingerprint="unconstrained", channel=channel,
+            poll_interval=0.0, clock=clock or (lambda: 0.0),
+        )
+
+    def test_worker_a_fact_prunes_work_in_worker_b(self, tmp_path):
+        a_chan, b_chan = channel_pair(tmp_path)
+        a = self.store(a_chan)
+        b = self.store(b_chan)
+        # worker B knows nothing yet
+        assert b.lookup_justified({"G10": 1}) is None
+        # worker A proves a justification and an unjustifiability
+        assert a.record_justified({"G10": 1}, [[0, 1, 0], [1, 1, 1]])
+        assert a.record_unjustifiable({"G11": 0, "G12": 1}, None)
+        assert a.stats["broadcast_published"] == 2
+        # worker B's next lookups fold and answer from A's proofs
+        assert b.lookup_justified({"G10": 1}) == [[0, 1, 0], [1, 1, 1]]
+        assert b.lookup_unjustifiable({"G11": 0, "G12": 1}) == "exhausted"
+        assert b.stats["broadcast_folded"] == 2
+        assert b.stats["justified_hits"] == 1
+
+    def test_folded_facts_are_not_republished(self, tmp_path):
+        a_chan, b_chan = channel_pair(tmp_path)
+        a = self.store(a_chan)
+        b = self.store(b_chan)
+        a.record_justified({"G10": 1}, [[1]])
+        b.lookup_justified({"G10": 1})
+        assert b.stats["broadcast_published"] == 0
+        assert not os.path.exists(b_chan.path)  # b never wrote a line
+
+    def test_duplicate_facts_fold_once(self, tmp_path):
+        a_chan, b_chan = channel_pair(tmp_path)
+        a = self.store(a_chan)
+        a.record_justified({"G10": 1}, [[1]])
+        b = self.store(b_chan)  # construction folds the channel
+        assert b.stats["broadcast_folded"] == 1
+        b.fold()
+        assert b.stats["broadcast_folded"] == 1  # already consumed
+
+    def test_poll_interval_limits_channel_reads(self, tmp_path):
+        a_chan, b_chan = channel_pair(tmp_path)
+        a = self.store(a_chan)
+        now = [0.0]
+        b = BroadcastKnowledge(
+            circuit="s27", fingerprint="unconstrained", channel=b_chan,
+            poll_interval=10.0, clock=lambda: now[0],
+        )
+        a.record_justified({"G10": 1}, [[1]])
+        assert b.lookup_justified({"G10": 1}) is None  # inside the interval
+        now[0] = 11.0
+        assert b.lookup_justified({"G10": 1}) == [[1]]
+
+    def test_preload_sets_gate_without_publishing(self, tmp_path):
+        a_chan, _ = channel_pair(tmp_path)
+        sidecar = StateKnowledge(circuit="s27")
+        sidecar.record_justified({"G10": 1}, [[1]])
+        a = self.store(a_chan)
+        a.preload(sidecar)
+        assert a.preloaded  # the GA seed-pool gate, as for from_dict
+        assert a.stats["broadcast_published"] == 0
+        assert a.lookup_justified({"G10": 1}) == [[1]]
+
+    def test_mismatched_circuit_facts_ignored(self, tmp_path):
+        a_chan, b_chan = channel_pair(tmp_path)
+        a = BroadcastKnowledge(circuit="s298", channel=a_chan,
+                               poll_interval=0.0, clock=lambda: 0.0)
+        a.record_justified({"G10": 1}, [[1]])
+        b = self.store(b_chan)
+        assert b.lookup_justified({"G10": 1}) is None
+        assert b.stats["broadcast_folded"] == 0
+
+
+class TestBroadcastCampaign:
+    def spec(self, **overrides):
+        base = dict(circuits=("s27",), name="bc", seed=3, shard_size=1,
+                    passes=3, knowledge_broadcast=True)
+        base.update(overrides)
+        return CampaignSpec(**base)
+
+    def test_pooled_campaign_trades_facts(self, tmp_path):
+        journal = str(tmp_path / "bc.jsonl")
+        runner = CampaignRunner(self.spec(), journal, workers=2)
+        result = runner.run()
+        assert result.fault_coverage == 1.0
+        assert result.knowledge_stats.get("broadcast_published", 0) >= 1
+        assert os.path.isdir(runner.broadcast_dir())
+
+    def test_inline_campaign_ignores_broadcast(self, tmp_path):
+        """workers=1 has no peers: the flag must not change results or
+        create a channel."""
+        on = CampaignRunner(
+            self.spec(), str(tmp_path / "on.jsonl"), workers=1
+        ).run()
+        off = CampaignRunner(
+            self.spec(knowledge_broadcast=False, name="bc"),
+            str(tmp_path / "off.jsonl"), workers=1,
+        ).run()
+        assert on.circuits["s27"].vectors == off.circuits["s27"].vectors
+        assert on.circuits["s27"].detected == off.circuits["s27"].detected
+        assert not os.path.isdir(str(tmp_path / "on.bcast"))
+
+
+class TestSpecCompatibility:
+    def test_broadcast_off_keeps_pre_broadcast_spec_hash(self):
+        """The field serializes only when on: untouched specs hash (and
+        therefore resume) exactly as before the field existed."""
+        s = CampaignSpec(circuits=("s27",), seed=3)
+        data = s.to_dict()
+        assert "knowledge_broadcast" not in data
+        legacy = {k: v for k, v in data.items()}
+        assert CampaignSpec.from_dict(legacy).spec_hash() == s.spec_hash()
+
+    def test_broadcast_on_changes_spec_hash_and_round_trips(self):
+        off = CampaignSpec(circuits=("s27",), seed=3)
+        on = CampaignSpec(circuits=("s27",), seed=3,
+                          knowledge_broadcast=True)
+        assert on.spec_hash() != off.spec_hash()
+        assert on.to_dict()["knowledge_broadcast"] is True
+        assert CampaignSpec.from_dict(
+            json.loads(json.dumps(on.to_dict()))
+        ).spec_hash() == on.spec_hash()

@@ -10,9 +10,11 @@ time.
 import json
 
 from repro.atpg.podem import Limits
+from repro.atpg.scoap import compute_testability
 from repro.circuits import s27
-from repro.hybrid.driver import gahitec
+from repro.hybrid.driver import HybridTestGenerator, gahitec
 from repro.hybrid.passes import gahitec_schedule
+from repro.simulation.compiled import compile_circuit
 
 
 def run_once(seed, clock=None):
@@ -55,6 +57,21 @@ class TestSeedDeterminism:
         real = run_once(seed=7)
         assert disposition_bytes(fake) == disposition_bytes(real)
         assert fake.test_set == real.test_set
+
+    def test_precomputed_testability_matches_lazy(self):
+        """The warm-fork invariant: handing the driver a precomputed
+        SCOAP table (as campaign workers inherit from the pre-fork warm
+        state) changes nothing about the results."""
+        circuit = s27()
+        warm = HybridTestGenerator(
+            circuit, seed=7,
+            testability=compute_testability(compile_circuit(circuit)),
+        )
+        schedule = gahitec_schedule(x=8, num_passes=2, time_scale=None)
+        warm_result = warm.run(schedule)
+        cold_result = run_once(seed=7)
+        assert disposition_bytes(warm_result) == disposition_bytes(cold_result)
+        assert warm_result.test_set == cold_result.test_set
 
 
 class TestDeadline:
