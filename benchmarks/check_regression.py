@@ -41,6 +41,15 @@ run):
   4.  Real items are CPU-bound: on a smaller host the floor is
   physically unreachable and the gate prints SKIP instead of failing.
 
+When the fresh file carries a ``service`` section (written by
+``benchmarks/test_service_load.py``), the service-load floors apply too:
+
+* at least ``--min-service-clients`` (default 100) concurrent
+  submit+stream clients were driven;
+* zero dropped SSE streams and zero client errors;
+* the worst queued→started wait stayed within the bound the load
+  harness recorded (``queue_wait_bound_s``).
+
 A baseline, when given, is printed for context only.
 """
 
@@ -139,11 +148,47 @@ def compare(
     return 0
 
 
+def check_service(new: Dict[str, Any], min_clients: int) -> list:
+    """Service-load floors; returns the failure messages (maybe empty)."""
+    service = new.get("service")
+    if not service:
+        print("  service load: not measured")
+        return []
+    clients = int(service.get("clients", 0))
+    dropped = int(service.get("dropped_streams", 0))
+    errors = int(service.get("client_errors", 0))
+    wait_max = float(service.get("queue_wait_max_s", 0.0))
+    wait_bound = float(service.get("queue_wait_bound_s", 0.0))
+    failures = []
+    print(
+        f"  service load: {clients} clients in "
+        f"{float(service.get('wall_seconds', 0.0)):.2f}s — "
+        f"{dropped} dropped streams, {errors} client errors, "
+        f"queue wait max {wait_max:.2f}s (bound {wait_bound:.0f}s)"
+    )
+    if clients < min_clients:
+        failures.append(
+            f"service load drove only {clients} clients "
+            f"(floor {min_clients})"
+        )
+    if dropped != 0:
+        failures.append(f"{dropped} SSE streams were dropped (expected 0)")
+    if errors != 0:
+        failures.append(f"{errors} service clients errored (expected 0)")
+    if wait_bound and wait_max > wait_bound:
+        failures.append(
+            f"queue wait {wait_max:.2f}s exceeded the "
+            f"{wait_bound:.0f}s bound — dispatch is wedging under load"
+        )
+    return failures
+
+
 def compare_campaign(
     new: Dict[str, Any],
     baseline: Dict[str, Any] | None,
     min_drill_speedup: float,
     min_real_speedup: float,
+    min_service_clients: int = 100,
 ) -> int:
     """Gate ``BENCH_campaign.json``; return a process exit status."""
     cores = int(new.get("cores", 0))
@@ -191,6 +236,8 @@ def compare_campaign(
             f"  real-ATPG 4-worker speedup: {real_speedup:.2f}x "
             f"(SKIP: floor needs >=4 cores, file was recorded on {cores})"
         )
+
+    failures.extend(check_service(new, min_service_clients))
 
     for failure in failures:
         print(f"  FAIL: {failure}")
@@ -241,6 +288,13 @@ def main(argv=None) -> int:
         help="--campaign: minimum real-ATPG 4-worker speedup, gated "
         "only when the file's cores >= 4 (default 2.5)",
     )
+    parser.add_argument(
+        "--min-service-clients",
+        type=int,
+        default=100,
+        help="--campaign: minimum concurrent service-load clients, "
+        "gated only when the file has a 'service' section (default 100)",
+    )
     args = parser.parse_args(argv)
     if args.campaign:
         return compare_campaign(
@@ -248,6 +302,7 @@ def main(argv=None) -> int:
             load(args.baseline) if args.baseline else None,
             args.min_drill_speedup,
             args.min_real_speedup,
+            args.min_service_clients,
         )
     if args.baseline is None:
         parser.error("baseline JSON is required without --campaign")

@@ -1,0 +1,200 @@
+"""Service load: hundreds of concurrent submit+stream clients, one server.
+
+The harness boots one in-process service and unleashes ``N_CLIENTS``
+threads against it; every client submits its own drill-mode campaign
+(unique seed, so no dedup) and immediately opens the job's SSE stream,
+holding the connection until the ``end`` frame arrives.  Drill items
+replace ATPG with fixed micro-sleeps, so the numbers measure the service
+itself: HTTP handling, queue dispatch, journal fsync traffic, and one
+journal-tailing stream per client.
+
+Asserted here and gated again by ``check_regression.py --campaign``:
+
+* **zero dropped streams** — every one of the ``N_CLIENTS`` SSE streams
+  must deliver its terminal ``end`` frame;
+* **bounded queue latency** — the worst queued→started wait stays under
+  ``MAX_QUEUE_WAIT_S`` even with every job fighting for
+  ``MAX_RUNNING`` executor slots.
+
+Results are merged into ``BENCH_campaign.json`` under a ``"service"``
+key (read-modify-write: the scaling benchmark's sections survive) and
+rendered to ``benchmarks/out/service_load.txt``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.service import start_service
+from repro.telemetry import TelemetryRecorder
+
+from .conftest import write_artifact
+
+#: Concurrent submit+stream clients (the acceptance floor is 100).
+N_CLIENTS = 120
+
+#: Campaigns executed concurrently by the service under test.
+MAX_RUNNING = 4
+
+#: Worst acceptable queued→started wait for any job, seconds.  Generous:
+#: 120 drill jobs over 4 slots on a loaded CI runner, but far below the
+#: "queue wedged" regime this exists to catch.
+MAX_QUEUE_WAIT_S = 120.0
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_campaign.json"
+
+
+def drill_spec(seed):
+    return {
+        "circuits": ["s27"],
+        "name": "service-load",
+        "seed": seed,
+        "shard_size": 4,
+        "fault_limit": 8,
+        "synthetic_item_seconds": 0.002,
+    }
+
+
+class Client:
+    """One submit+stream client; runs on its own thread."""
+
+    def __init__(self, base, seed):
+        self.base = base
+        self.seed = seed
+        self.job_id = None
+        self.submit_s = None
+        self.total_s = None
+        self.ended = False
+        self.error = None
+
+    def __call__(self):
+        try:
+            t0 = time.perf_counter()
+            body = json.dumps(
+                {"spec": drill_spec(self.seed), "client": f"c{self.seed}"}
+            ).encode()
+            req = urllib.request.Request(
+                self.base + "/jobs", data=body, method="POST"
+            )
+            with urllib.request.urlopen(req) as resp:
+                self.job_id = json.loads(resp.read())["job"]
+            self.submit_s = time.perf_counter() - t0
+            with urllib.request.urlopen(
+                self.base + f"/jobs/{self.job_id}/events"
+            ) as resp:
+                event = None
+                for raw in resp:
+                    line = raw.decode("utf-8").rstrip("\n")
+                    if line.startswith("event: "):
+                        event = line[len("event: "):]
+                    elif line.startswith("data: ") and event == "end":
+                        payload = json.loads(line[len("data: "):])
+                        self.ended = payload["state"] == "done"
+                        break
+            self.total_s = time.perf_counter() - t0
+        except Exception as exc:  # noqa: BLE001 — recorded, not raised
+            self.error = f"{type(exc).__name__}: {exc}"
+
+
+def percentile(values, fraction):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def test_service_load(tmp_path):
+    telemetry = TelemetryRecorder()
+
+    async def scenario():
+        server, manager, (host, port) = await start_service(
+            str(tmp_path),
+            telemetry=telemetry,
+            max_running=MAX_RUNNING,
+            max_queue=2 * N_CLIENTS,
+            client_quota=4,
+            poll_interval=0.05,
+        )
+        base = f"http://{host}:{port}"
+        clients = [Client(base, seed) for seed in range(N_CLIENTS)]
+        threads = [
+            threading.Thread(target=client, daemon=True)
+            for client in clients
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        deadline = 600.0
+        while any(thread.is_alive() for thread in threads):
+            if time.perf_counter() - t0 > deadline:
+                break
+            await asyncio.sleep(0.05)
+        wall = time.perf_counter() - t0
+        # queued→started waits come from the jobs themselves
+        waits = [
+            job.started_ts - job.submitted_ts
+            for job in manager.jobs.values()
+            if job.started_ts is not None
+        ]
+        stats = manager.stats()
+        await server.close()
+        await manager.stop()
+        return clients, wall, waits, stats
+
+    clients, wall, waits, stats = asyncio.run(scenario())
+
+    errors = [c.error for c in clients if c.error]
+    dropped = [c for c in clients if not c.ended]
+    submit = [c.submit_s for c in clients if c.submit_s is not None]
+    totals = [c.total_s for c in clients if c.total_s is not None]
+    counters = stats["metrics"]["counters"]
+    histograms = stats["metrics"]["histograms"]
+    lag = histograms.get("service.stream.lag_s", {})
+
+    lines = [
+        f"Service load — {N_CLIENTS} concurrent submit+stream clients",
+        f"  wall: {wall:6.2f} s  (max_running={MAX_RUNNING})",
+        f"  dropped streams: {len(dropped)}   client errors: {len(errors)}",
+        f"  submit latency: p50 {percentile(submit, 0.50) * 1e3:6.1f} ms   "
+        f"p95 {percentile(submit, 0.95) * 1e3:6.1f} ms",
+        f"  submit→end:     p50 {percentile(totals, 0.50):6.2f} s    "
+        f"p95 {percentile(totals, 0.95):6.2f} s",
+        f"  queue wait:     p95 {percentile(waits, 0.95):6.2f} s    "
+        f"max {max(waits):6.2f} s  (bound {MAX_QUEUE_WAIT_S:.0f} s)",
+        f"  stream events: {counters.get('service.stream.events', 0)}   "
+        f"mean lag {lag.get('mean', 0.0) * 1e3:.1f} ms",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("service_load.txt", text)
+
+    payload = {
+        "clients": N_CLIENTS,
+        "max_running": MAX_RUNNING,
+        "wall_seconds": round(wall, 3),
+        "dropped_streams": len(dropped),
+        "client_errors": len(errors),
+        "submit_p95_s": round(percentile(submit, 0.95), 4),
+        "stream_end_p95_s": round(percentile(totals, 0.95), 4),
+        "queue_wait_p95_s": round(percentile(waits, 0.95), 4),
+        "queue_wait_max_s": round(max(waits), 4),
+        "queue_wait_bound_s": MAX_QUEUE_WAIT_S,
+        "stream_events": counters.get("service.stream.events", 0),
+        "stream_lag_mean_s": round(lag.get("mean", 0.0), 4),
+    }
+    # read-modify-write: the scaling benchmark owns the other sections
+    try:
+        bench = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        bench = {"schema": "repro-bench-campaign/v1"}
+    bench["service"] = payload
+    BENCH_PATH.write_text(
+        json.dumps(bench, indent=2) + "\n", encoding="utf-8"
+    )
+
+    assert not errors, f"client errors: {errors[:5]}"
+    assert not dropped, f"{len(dropped)} SSE streams never saw 'end'"
+    assert max(waits) <= MAX_QUEUE_WAIT_S

@@ -37,6 +37,10 @@ from .scoap import Testability
 class TestGenStatus(enum.Enum):
     """Per-fault outcome of sequential test generation."""
 
+    # not a test class, despite the name pytest pattern-matches when a
+    # test module imports it
+    __test__ = False
+
     DETECTED = "detected"
     UNTESTABLE = "untestable"
     ABORTED = "aborted"

@@ -20,7 +20,13 @@ across shards, crediting incidental detections and dropping redundant
 sequences.
 """
 
-from .journal import JOURNAL_SCHEMA, Journal, JournalState, read_events
+from .journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalState,
+    JournalTail,
+    read_events,
+)
 from .merge import CampaignResult, CircuitMergeResult, merge_campaign
 from .warm import CampaignWarmState, CircuitWarmState
 from .queue import (
@@ -32,10 +38,17 @@ from .queue import (
     shard_faults,
 )
 from .runner import CampaignRunner
-from .spec import SPEC_SCHEMA, CampaignError, CampaignSpec, derive_seed
+from .spec import (
+    SPEC_SCHEMA,
+    CampaignCancelled,
+    CampaignError,
+    CampaignSpec,
+    derive_seed,
+)
 from .worker import ItemOutcome, run_item, worker_main
 
 __all__ = [
+    "CampaignCancelled",
     "CampaignError",
     "CampaignResult",
     "CampaignRunner",
@@ -48,6 +61,7 @@ __all__ = [
     "JOURNAL_SCHEMA",
     "Journal",
     "JournalState",
+    "JournalTail",
     "SPEC_SCHEMA",
     "WorkItem",
     "WorkQueue",

@@ -89,24 +89,66 @@ class Journal:
         self.close()
 
 
+class JournalTail:
+    """Incremental torn-tail-tolerant journal reader.
+
+    The single reader implementation behind both the resume path
+    (:func:`read_events` drains a journal in one :meth:`poll`) and live
+    consumers such as the service's SSE streams, which keep one tail per
+    stream and poll it while the campaign is still writing.
+
+    Only byte ranges ending in a newline are ever consumed: a torn final
+    line — a mid-write kill, or a concurrent writer whose line has not
+    fully landed yet — stays unread until it either completes or the
+    writer truncates it away on reopen.  Because the writer only ever
+    truncates a newline-less tail, the consumed offset can never point
+    past a truncation, so tailing a live journal is race-free.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        #: byte offset of the first unconsumed line
+        self.offset = 0
+        #: complete lines consumed so far (for error messages)
+        self.lines = 0
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Every event that became durable since the last poll.
+
+        A journal that does not exist yet reads as empty (the campaign
+        may not have started); a journal that *shrank* (rewritten from
+        scratch) is re-read from the top.
+        """
+        try:
+            if os.path.getsize(self.path) <= self.offset:
+                return []
+        except OSError:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            data = handle.read()
+        keep = data.rfind(b"\n") + 1  # never consume a torn tail
+        events: List[Dict[str, Any]] = []
+        for raw in data[:keep].split(b"\n"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            self.lines += 1
+            try:
+                events.append(json.loads(raw.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise CampaignError(
+                    f"{self.path}:{self.lines}: corrupt journal line"
+                ) from None
+        self.offset += keep
+        return events
+
+
 def read_events(path: str) -> List[Dict[str, Any]]:
     """Parse a journal, tolerating a torn final line from a killed writer."""
-    events: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.readlines()
-    for number, line in enumerate(lines, 1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            events.append(json.loads(line))
-        except json.JSONDecodeError:
-            if number == len(lines):
-                break  # torn tail from a mid-write kill: ignore
-            raise CampaignError(
-                f"{path}:{number}: corrupt journal line"
-            ) from None
-    return events
+    with open(path, "r", encoding="utf-8"):
+        pass  # a missing journal is the caller's error, not an empty one
+    return JournalTail(path).poll()
 
 
 @dataclass

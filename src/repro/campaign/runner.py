@@ -52,7 +52,7 @@ from . import warm
 from .journal import JOURNAL_SCHEMA, Journal, JournalState
 from .merge import CampaignResult, merge_campaign
 from .queue import ItemState, WorkItem, WorkQueue, build_items
-from .spec import CampaignError, CampaignSpec
+from .spec import CampaignCancelled, CampaignError, CampaignSpec
 from .worker import run_item, worker_main
 
 
@@ -113,6 +113,16 @@ class CampaignRunner:
             ``None`` disables hang detection.
         clock: wall-clock source for campaign timing (injectable for
             tests; item-level clocks stay worker-local).
+        stop_check: cooperative cancellation probe.  Polled between
+            items (inline mode) and between scheduler rounds (pooled
+            mode); when it returns true the runner terminates its
+            workers and raises :class:`CampaignCancelled`.  The journal
+            keeps every completed item, so the campaign resumes cleanly.
+        warm_cache: optional cross-campaign cache of per-circuit warm
+            artifacts, passed through to
+            :meth:`CampaignWarmState.build <repro.campaign.warm.CampaignWarmState.build>`
+            — the service uses one so kernels/SCOAP/collapse are paid
+            once per circuit even across jobs with different specs.
     """
 
     #: replacement workers spawned per original worker before giving up
@@ -128,6 +138,8 @@ class CampaignRunner:
         heartbeat_interval: float = 0.5,
         hang_timeout_s: Optional[float] = None,
         clock: Callable[[], float] = monotonic,
+        stop_check: Optional[Callable[[], bool]] = None,
+        warm_cache: Optional[Dict[str, Any]] = None,
     ):
         self.spec = spec
         self.journal_path = journal_path
@@ -135,6 +147,8 @@ class CampaignRunner:
         self.heartbeat_interval = heartbeat_interval
         self.hang_timeout_s = hang_timeout_s
         self.clock = clock
+        self.stop_check = stop_check
+        self.warm_cache = warm_cache
 
     # -- public entry points -------------------------------------------
     def run(self, resume: bool = False) -> CampaignResult:
@@ -176,7 +190,9 @@ class CampaignRunner:
             # warm fork: build every per-circuit artifact once, in the
             # parent, before any worker exists — children inherit it COW
             t0 = self.clock()
-            warm_state = warm.CampaignWarmState.build(self.spec)
+            warm_state = warm.CampaignWarmState.build(
+                self.spec, cache=self.warm_cache
+            )
             phase_times["warm_s"] = self.clock() - t0
             with warm.activate(warm_state):
                 t0 = self.clock()
@@ -256,6 +272,21 @@ class CampaignRunner:
             "merged": state.merged,
         }
 
+    # -- cooperative cancellation --------------------------------------
+    def _check_cancelled(self, journal: Journal) -> None:
+        """Raise :class:`CampaignCancelled` when the stop check fires.
+
+        The ``cancelled`` event is diagnostic only (replay ignores it);
+        it marks *when* the campaign stopped in the journal's timeline so
+        tailing consumers see the transition.
+        """
+        if self.stop_check is not None and self.stop_check():
+            journal.append({"type": "cancelled"})
+            raise CampaignCancelled(
+                "campaign cancelled — journal is durable, resume to "
+                "continue"
+            )
+
     # -- resume restoration --------------------------------------------
     def _restore(
         self,
@@ -332,6 +363,7 @@ class CampaignRunner:
         journal: Journal,
     ) -> None:
         while True:
+            self._check_cancelled(journal)
             item = queue.take()
             if item is None:
                 break
@@ -394,6 +426,7 @@ class CampaignRunner:
         respawns = 0
         try:
             while True:
+                self._check_cancelled(journal)
                 # grant a lease to every live worker whose unstarted
                 # backlog ran dry (prefetch: the grant overlaps the item
                 # the worker is still solving)

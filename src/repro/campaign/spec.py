@@ -31,6 +31,14 @@ class CampaignError(RuntimeError):
     """A campaign spec, journal, or resume attempt is invalid."""
 
 
+class CampaignCancelled(CampaignError):
+    """A campaign was cancelled cooperatively via the runner's stop check.
+
+    The journal stays durable: every completed item's result survives,
+    and ``resume`` continues the campaign exactly where it stopped.
+    """
+
+
 @dataclass(frozen=True)
 class CampaignSpec:
     """Declarative description of one ATPG campaign.

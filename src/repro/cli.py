@@ -14,6 +14,8 @@ Commands
 a :class:`~repro.campaign.CampaignSpec` across worker processes with a
 journal, ``campaign resume`` continues a killed campaign, and
 ``campaign status`` summarises a journal.
+``serve``     — run the campaign service: HTTP job submission, SSE
+progress streams, report retrieval (see ``docs/SERVICE.md``).
 ``faultsim``  — grade an existing vector file against the fault list.
 ``convert``   — translate between ``.bench`` and structural Verilog.
 ``scan``      — insert a full-scan chain and write the scanned netlist.
@@ -26,15 +28,16 @@ Circuits are either ``.bench`` files or names of built-in benchmarks
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .analysis.compaction import compact_test_set
 from .analysis.coverage import evaluate_test_set
 from .analysis.diagnosis import FaultDictionary
-from .campaign import CampaignRunner, CampaignSpec
+from .campaign import CampaignError, CampaignRunner, CampaignSpec
 from .circuit.bench import save_bench
 from .circuit.scan import insert_scan
 from .circuit.verilog import save_verilog
@@ -70,6 +73,34 @@ def _write_vectors(path: str, vectors: List[List[int]]) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         for vec in vectors:
             handle.write("".join("x" if v == 2 else str(v) for v in vec) + "\n")
+
+
+def _expected_errors(
+    *exceptions: type,
+) -> Callable[[Callable[[argparse.Namespace], int]],
+              Callable[[argparse.Namespace], int]]:
+    """Turn anticipated failures into a one-line stderr message, exit 2.
+
+    A missing journal, a torn-beyond-repair file, or a malformed report is
+    an operator mistake, not a bug — the command must fail loudly but
+    without a traceback (and the service maps the same exceptions to HTTP
+    4xx instead of 500).
+    """
+
+    def decorate(
+        func: Callable[[argparse.Namespace], int]
+    ) -> Callable[[argparse.Namespace], int]:
+        @functools.wraps(func)
+        def wrapper(args: argparse.Namespace) -> int:
+            try:
+                return func(args)
+            except exceptions as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+        return wrapper
+
+    return decorate
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -159,6 +190,7 @@ def cmd_atpg(args: argparse.Namespace) -> int:
     return 0
 
 
+@_expected_errors(OSError, ValueError, KeyError)
 def cmd_report(args: argparse.Namespace) -> int:
     new = RunReport.load(args.report)
     if args.against:
@@ -236,6 +268,7 @@ def _finish_campaign(result, args: argparse.Namespace) -> int:
     return 1 if result.items_failed else 0
 
 
+@_expected_errors(CampaignError, OSError)
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     runner = CampaignRunner(
@@ -247,7 +280,18 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     return _finish_campaign(runner.run(), args)
 
 
+@_expected_errors(CampaignError, OSError)
 def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    if args.spec:
+        # catch resuming the wrong journal before any work starts: the
+        # journal header's spec is authoritative, --spec merely asserts
+        expected = CampaignSpec.load(args.spec).spec_hash()
+        actual = CampaignRunner.status(args.journal)["spec_hash"]
+        if expected != actual:
+            raise CampaignError(
+                f"{args.journal}: journal spec hash {actual} does not "
+                f"match {args.spec} ({expected})"
+            )
     result = CampaignRunner.resume(
         args.journal,
         workers=args.workers,
@@ -256,6 +300,7 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
     return _finish_campaign(result, args)
 
 
+@_expected_errors(CampaignError, OSError)
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     status = CampaignRunner.status(args.journal)
     if args.json:
@@ -270,6 +315,30 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         merged = status["merged"]
         print(f"  merged: coverage {100.0 * merged['fault_coverage']:.1f}%  "
               f"vectors {merged['vectors']}")
+    return 0
+
+
+@_expected_errors(OSError)
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import serve
+
+    os.makedirs(args.root, exist_ok=True)
+    try:
+        asyncio.run(
+            serve(
+                args.root,
+                host=args.host,
+                port=args.port,
+                max_running=args.max_running,
+                max_queue=args.max_queue,
+                client_quota=args.client_quota,
+                workers_per_job=args.workers_per_job,
+            )
+        )
+    except KeyboardInterrupt:
+        print("service stopped", file=sys.stderr)
     return 0
 
 
@@ -468,6 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
     cp = campaign_sub.add_parser(
         "resume", help="continue a journaled campaign after a crash"
     )
+    cp.add_argument("--spec", metavar="PATH",
+                    help="assert the journal belongs to this spec file "
+                         "(fails fast on a hash mismatch)")
     _campaign_runner_options(cp)
     cp.set_defaults(func=cmd_campaign_resume)
 
@@ -475,6 +547,25 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--journal", required=True)
     cp.add_argument("--json", action="store_true")
     cp.set_defaults(func=cmd_campaign_status)
+
+    p = sub.add_parser(
+        "serve", help="run the campaign service (HTTP + SSE)"
+    )
+    p.add_argument("--root", required=True,
+                   help="service state directory (journals, reports, "
+                        "uploads); survives restarts")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8437,
+                   help="listen port (0 picks an ephemeral port)")
+    p.add_argument("--max-running", type=int, default=2,
+                   help="campaigns executed concurrently (default 2)")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="queued jobs before submissions get 429")
+    p.add_argument("--client-quota", type=int, default=16,
+                   help="live jobs allowed per client (default 16)")
+    p.add_argument("--workers-per-job", type=int, default=1,
+                   help="campaign worker processes per job (default 1)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("faultsim", help="grade a vector file")
     p.add_argument("circuit")

@@ -1,0 +1,55 @@
+"""ATPG-as-a-service: an asyncio HTTP front end for campaign runs.
+
+``repro serve`` exposes the campaign runner over HTTP: idempotent job
+submission keyed by spec hash, SSE progress streams that tail the JSONL
+journal with the same torn-tail-tolerant reader the resume path uses,
+report/knowledge retrieval and diffing, cooperative cancel/resume, and
+restart recovery from the journal directory.  Stdlib only — ``asyncio``
+streams plus a small routing layer in :mod:`repro.service.http`.
+
+See ``docs/SERVICE.md`` for the API reference.
+"""
+
+from .app import SERVICE_SCHEMA, ServiceApp, build_app, serve, start_service
+from .http import (
+    EventStream,
+    HttpServer,
+    Request,
+    Response,
+    Router,
+    ServiceError,
+)
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PRIORITIES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobManager,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "EventStream",
+    "FAILED",
+    "HttpServer",
+    "Job",
+    "JobManager",
+    "PRIORITIES",
+    "QUEUED",
+    "RUNNING",
+    "Request",
+    "Response",
+    "Router",
+    "SERVICE_SCHEMA",
+    "ServiceApp",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "build_app",
+    "serve",
+    "start_service",
+]

@@ -1,0 +1,326 @@
+"""Minimal asyncio HTTP/1.1 layer: routing, JSON bodies, SSE streams.
+
+The service deliberately runs on the stdlib alone — ``asyncio`` streams
+plus a few hundred lines of request parsing — so the repo's no-new-deps
+constraint holds and the whole stack stays auditable.  The layer knows
+exactly three response shapes:
+
+* :class:`Response` — a complete body (JSON for every API endpoint);
+* :class:`EventStream` — a Server-Sent-Events stream fed by an async
+  generator of ``(event, payload)`` pairs, flushed as frames arrive;
+* :class:`ServiceError` — raised anywhere in a handler, rendered as a
+  JSON error document with the carried HTTP status.
+
+Connections are one-request-per-connection (``Connection: close``): the
+service's clients are programs, SSE streams monopolize their connection
+anyway, and dropping keep-alive removes a whole class of pipelining
+bugs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..telemetry import NULL_RECORDER, Recorder
+
+#: Upper bound on request bodies (a .bench upload is well under this).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ServiceError(Exception):
+    """An API error with the HTTP status it should surface as."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ):
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Dict[str, Any]:
+        """The request body as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise ServiceError(400, "request body must be a JSON object")
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServiceError(400, "request body is not valid JSON") from None
+        if not isinstance(data, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        return data
+
+
+class Response:
+    """A complete HTTP response."""
+
+    def __init__(
+        self,
+        status: int = 200,
+        body: bytes = b"",
+        content_type: str = "application/json",
+    ):
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return cls(status=status, body=body)
+
+
+class EventStream:
+    """A Server-Sent-Events response: ``(event, payload)`` frames."""
+
+    def __init__(self, events: AsyncIterator[Tuple[str, Any]]):
+        self.events = events
+
+
+#: A handler takes the request plus path parameters; returns a Response
+#: or an EventStream.
+Handler = Callable[..., Any]
+
+
+class Router:
+    """Method + path-template routing (``/jobs/{job_id}/events``)."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, List[str], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append(
+            (method.upper(), pattern.strip("/").split("/"), handler)
+        )
+
+    def resolve(self, method: str, path: str) -> Tuple[Handler, Dict[str, str]]:
+        """The handler and path params for a request (404/405 on miss)."""
+        segments = [unquote(s) for s in path.strip("/").split("/")]
+        path_matched = False
+        for route_method, template, handler in self._routes:
+            params = _match(template, segments)
+            if params is None:
+                continue
+            path_matched = True
+            if route_method == method.upper():
+                return handler, params
+        if path_matched:
+            raise ServiceError(405, f"method {method} not allowed for {path}")
+        raise ServiceError(404, f"no route for {path}")
+
+
+def _match(template: List[str], segments: List[str]) -> Optional[Dict[str, str]]:
+    if len(template) != len(segments):
+        return None
+    params: Dict[str, str] = {}
+    for part, segment in zip(template, segments):
+        if part.startswith("{") and part.endswith("}"):
+            if not segment:
+                return None
+            params[part[1:-1]] = segment
+        elif part != segment:
+            return None
+    return params
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the wire; ``None`` on a closed connection."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line or not request_line.strip():
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split()
+    except ValueError:
+        raise ServiceError(400, "malformed request line") from None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise ServiceError(400, "bad Content-Length") from None
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(413, "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query))
+    return Request(method, parts.path or "/", query, headers, body)
+
+
+def _head(status: int, content_type: str, extra: str = "") -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Connection: close\r\n"
+        f"{extra}\r\n"
+    ).encode("latin-1")
+
+
+class HttpServer:
+    """One router bound to an ``asyncio.start_server`` listener."""
+
+    def __init__(
+        self, router: Router, telemetry: Recorder = NULL_RECORDER
+    ) -> None:
+        self.router = router
+        self.telemetry = telemetry
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self, host: str, port: int) -> Tuple[str, int]:
+        """Bind and serve; returns the actual (host, port) bound."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            await self._serve_one(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            self.telemetry.count("service.http.disconnects")
+        except Exception:  # noqa: BLE001 — a connection must not kill the loop
+            self.telemetry.count("service.http.errors")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_one(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await read_request(reader)
+        except ServiceError as exc:
+            await self._write_response(
+                writer, _error_response(exc.status, str(exc))
+            )
+            return
+        if request is None:
+            return
+        self.telemetry.count("service.http.requests")
+        try:
+            handler, params = self.router.resolve(request.method, request.path)
+            result = handler(request, **params)
+            if asyncio.iscoroutine(result):
+                result = await result
+        except ServiceError as exc:
+            self.telemetry.count("service.http.client_errors")
+            await self._write_response(
+                writer, _error_response(exc.status, str(exc))
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 — surface as a 500
+            self.telemetry.count("service.http.server_errors")
+            await self._write_response(
+                writer,
+                _error_response(500, f"{type(exc).__name__}: {exc}"),
+            )
+            return
+        if isinstance(result, EventStream):
+            await self._write_stream(writer, result)
+        else:
+            await self._write_response(writer, result)
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        writer.write(
+            _head(
+                response.status,
+                response.content_type,
+                f"Content-Length: {len(response.body)}\r\n",
+            )
+        )
+        writer.write(response.body)
+        await writer.drain()
+
+    async def _write_stream(
+        self, writer: asyncio.StreamWriter, stream: EventStream
+    ) -> None:
+        writer.write(
+            _head(
+                200,
+                "text/event-stream",
+                "Cache-Control: no-cache\r\n",
+            )
+        )
+        await writer.drain()
+        self.telemetry.count("service.streams.opened")
+        try:
+            async for name, payload in stream.events:
+                frame = (
+                    f"event: {name}\n"
+                    f"data: {json.dumps(payload, sort_keys=True)}\n\n"
+                )
+                writer.write(frame.encode("utf-8"))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            # the client went away mid-stream; the journal is unaffected
+            self.telemetry.count("service.streams.client_gone")
+        finally:
+            aclose = getattr(stream.events, "aclose", None)
+            if aclose is not None:
+                await aclose()
+            self.telemetry.count("service.streams.closed")
+
+
+def _error_response(status: int, message: str) -> Response:
+    return Response.json({"error": message, "status": status}, status=status)

@@ -62,15 +62,20 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters and histograms for one run."""
+    """Named counters, gauges, and histograms for one run."""
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to counter ``name`` (creating it at zero)."""
         self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its current ``value`` (last write wins)."""
+        self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into histogram ``name``."""
@@ -87,6 +92,8 @@ class MetricsRegistry:
         """Fold another registry's data into this one."""
         for name, n in other.counters.items():
             self.count(name, n)
+        # gauges are point-in-time: the merged-in registry's value wins
+        self.gauges.update(other.gauges)
         for name, hist in other.histograms.items():
             mine = self.histograms.get(name)
             if mine is None:
@@ -98,13 +105,16 @@ class MetricsRegistry:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready snapshot: sorted counters and histogram summaries."""
-        return {
+        data: Dict[str, Any] = {
             "counters": dict(sorted(self.counters.items())),
             "histograms": {
                 name: hist.to_dict()
                 for name, hist in sorted(self.histograms.items())
             },
         }
+        if self.gauges:
+            data["gauges"] = dict(sorted(self.gauges.items()))
+        return data
 
 
 class _NullSpan:
@@ -134,6 +144,9 @@ class Recorder:
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter (no-op)."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (no-op)."""
 
     def observe(self, name: str, value: float) -> None:
         """Record a histogram observation (no-op)."""
@@ -213,6 +226,9 @@ class TelemetryRecorder(Recorder):
     # -- Recorder interface -------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
         self.registry.count(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name, value)
 
     def observe(self, name: str, value: float) -> None:
         self.registry.observe(name, value)

@@ -1,0 +1,129 @@
+"""Campaign/report CLI error paths: one-line stderr, exit 2, no traceback."""
+
+import json
+
+from repro.campaign import CampaignSpec
+from repro.cli import main
+
+
+def run(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def assert_clean_failure(code, err):
+    assert code == 2
+    assert err.startswith("error: ")
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err
+
+
+class TestStatusErrors:
+    def test_missing_journal(self, tmp_path, capsys):
+        code, _, err = run(capsys, [
+            "campaign", "status", "--journal", str(tmp_path / "no.jsonl"),
+        ])
+        assert_clean_failure(code, err)
+        assert "no.jsonl" in err
+
+    def test_corrupt_journal(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("definitely not json\n")
+        code, _, err = run(capsys, [
+            "campaign", "status", "--journal", str(path),
+        ])
+        assert_clean_failure(code, err)
+        assert "corrupt" in err
+
+    def test_headerless_journal(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        path.write_text(json.dumps({"type": "item_done"}) + "\n")
+        code, _, err = run(capsys, [
+            "campaign", "status", "--journal", str(path),
+        ])
+        assert_clean_failure(code, err)
+
+
+class TestResumeErrors:
+    def test_missing_journal(self, tmp_path, capsys):
+        code, _, err = run(capsys, [
+            "campaign", "resume", "--journal", str(tmp_path / "no.jsonl"),
+        ])
+        assert_clean_failure(code, err)
+
+    def test_spec_hash_mismatch(self, tmp_path, capsys):
+        journal = str(tmp_path / "j.jsonl")
+        assert main([
+            "campaign", "run", "s27", "--name", "orig", "--seed", "1",
+            "--shard-size", "8", "--passes", "2", "--journal", journal,
+        ]) == 0
+        capsys.readouterr()
+        other = CampaignSpec(circuits=("s27",), name="other", seed=99)
+        spec_file = tmp_path / "other.json"
+        other.save(str(spec_file))
+        code, _, err = run(capsys, [
+            "campaign", "resume", "--journal", journal,
+            "--spec", str(spec_file),
+        ])
+        assert_clean_failure(code, err)
+        assert "does not match" in err
+
+    def test_matching_spec_resumes_fine(self, tmp_path, capsys):
+        spec = CampaignSpec(circuits=("s27",), name="match", seed=2,
+                            shard_size=8, passes=2)
+        spec_file = tmp_path / "spec.json"
+        spec.save(str(spec_file))
+        journal = str(tmp_path / "j.jsonl")
+        assert main([
+            "campaign", "run", "--spec", str(spec_file),
+            "--journal", journal,
+        ]) == 0
+        capsys.readouterr()
+        code, out, err = run(capsys, [
+            "campaign", "resume", "--journal", journal,
+            "--spec", str(spec_file),
+        ])
+        assert code == 0 and err == ""
+        assert "coverage" in out
+
+
+class TestRunErrors:
+    def test_existing_journal_refused_without_traceback(
+        self, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "j.jsonl")
+        argv = [
+            "campaign", "run", "s27", "--name", "c", "--seed", "1",
+            "--shard-size", "8", "--passes", "2", "--journal", journal,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        code, _, err = run(capsys, argv)
+        assert_clean_failure(code, err)
+        assert "resume" in err
+
+    def test_unwritable_journal_path(self, tmp_path, capsys):
+        code, _, err = run(capsys, [
+            "campaign", "run", "s27",
+            "--journal", str(tmp_path / "no-dir" / "j.jsonl"),
+        ])
+        assert_clean_failure(code, err)
+
+
+class TestReportErrors:
+    def test_missing_report(self, tmp_path, capsys):
+        code, _, err = run(capsys, ["report", str(tmp_path / "no.json")])
+        assert_clean_failure(code, err)
+
+    def test_invalid_json_report(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        code, _, err = run(capsys, ["report", str(path)])
+        assert_clean_failure(code, err)
+
+    def test_wrong_schema_report(self, tmp_path, capsys):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"schema": "other/v1"}))
+        code, _, err = run(capsys, ["report", str(path)])
+        assert_clean_failure(code, err)

@@ -1,0 +1,99 @@
+"""JournalTail: the incremental torn-tail-tolerant journal reader."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignError, Journal, JournalTail, read_events
+
+
+def append_raw(path, text):
+    with open(path, "ab") as handle:
+        handle.write(text.encode("utf-8"))
+
+
+class TestIncrementalPoll:
+    def test_consumes_each_event_exactly_once(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        tail = JournalTail(path)
+        journal.append({"type": "a"})
+        journal.append({"type": "b"})
+        assert [e["type"] for e in tail.poll()] == ["a", "b"]
+        assert tail.poll() == []
+        journal.append({"type": "c"})
+        assert [e["type"] for e in tail.poll()] == ["c"]
+        journal.close()
+
+    def test_missing_journal_reads_as_empty(self, tmp_path):
+        tail = JournalTail(str(tmp_path / "never-written.jsonl"))
+        assert tail.poll() == []
+        assert tail.poll() == []
+
+    def test_file_appearing_later_is_picked_up(self, tmp_path):
+        path = str(tmp_path / "late.jsonl")
+        tail = JournalTail(path)
+        assert tail.poll() == []
+        with Journal(path) as journal:
+            journal.append({"type": "late"})
+        assert [e["type"] for e in tail.poll()] == ["late"]
+
+
+class TestTornTail:
+    def test_torn_tail_is_never_consumed(self, tmp_path):
+        path = str(tmp_path / "torn.jsonl")
+        with Journal(path) as journal:
+            journal.append({"type": "whole"})
+        append_raw(path, '{"type": "to')  # mid-write kill: no newline
+        tail = JournalTail(path)
+        assert [e["type"] for e in tail.poll()] == ["whole"]
+        # the torn bytes stay unread until the line completes
+        assert tail.poll() == []
+        append_raw(path, 'rn"}\n')
+        assert [e["type"] for e in tail.poll()] == ["torn"]
+
+    def test_writer_reopen_truncation_is_invisible(self, tmp_path):
+        # the writer only ever truncates a newline-less tail, which the
+        # tail never consumed — so the offset stays valid across it
+        path = str(tmp_path / "t.jsonl")
+        with Journal(path) as journal:
+            journal.append({"type": "first"})
+        append_raw(path, '{"type": "torn')
+        tail = JournalTail(path)
+        assert [e["type"] for e in tail.poll()] == ["first"]
+        with Journal(path) as journal:  # reopen drops the torn tail
+            journal.append({"type": "second"})
+        assert [e["type"] for e in tail.poll()] == ["second"]
+
+    def test_corrupt_complete_line_raises_with_location(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with Journal(path) as journal:
+            journal.append({"type": "ok"})
+        append_raw(path, "not json at all\n")
+        tail = JournalTail(path)
+        with pytest.raises(CampaignError, match=r"bad\.jsonl:2: corrupt"):
+            tail.poll()
+
+
+class TestReadEvents:
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_events(str(tmp_path / "absent.jsonl"))
+
+    def test_drains_whole_journal_tolerating_torn_tail(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as journal:
+            journal.append({"type": "a"})
+            journal.append({"type": "b"})
+        append_raw(path, '{"type": "torn')
+        assert [e["type"] for e in read_events(path)] == ["a", "b"]
+
+    def test_matches_tail_poll(self, tmp_path):
+        path = str(tmp_path / "same.jsonl")
+        with Journal(path) as journal:
+            for i in range(5):
+                journal.append({"type": "e", "i": i})
+        assert read_events(path) == JournalTail(path).poll()
+        with open(path) as handle:
+            assert len(handle.read().splitlines()) == 5
+        assert json.loads(open(path).readline())["i"] == 0
