@@ -50,6 +50,18 @@ When the fresh file carries a ``service`` section (written by
 * the worst queued→started wait stayed within the bound the load
   harness recorded (``queue_wait_bound_s``).
 
+``--policy`` gates ``BENCH_policy.json`` (written by
+``benchmarks/test_policy.py``).  Its floors are absolute, measured
+static-vs-policy on the same machine in the same run:
+
+* every circuit's policy-campaign detected fault set is identical to the
+  static campaign's (``coverage_equal``) — the mop-up safety net means a
+  learned schedule may only move work, never drop coverage;
+* the policy solve phase took at most ``--max-solve-ratio`` (default
+  0.9) of the static solve phase — the ≥10%% wall-time saving the
+  policy exists for;
+* the policy engaged: non-zero ``atpg.policy.pass_skips``.
+
 A baseline, when given, is printed for context only.
 """
 
@@ -247,6 +259,59 @@ def compare_campaign(
     return 0
 
 
+def compare_policy(new: Dict[str, Any], max_solve_ratio: float) -> int:
+    """Gate ``BENCH_policy.json``; return a process exit status."""
+    ratio = float(new["solve_ratio"])
+    counters = new.get("policy_counters", {})
+    skips = int(counters.get("atpg.policy.pass_skips", 0))
+    failures = []
+
+    print("policy schedule gate:")
+    for name, row in sorted(new.get("circuits", {}).items()):
+        equal = bool(row.get("detected_equal"))
+        print(
+            f"  {name}: static coverage "
+            f"{float(row.get('static_coverage', 0.0)):.3f}, policy "
+            f"{float(row.get('policy_coverage', 0.0)):.3f}, detected "
+            f"sets {'identical' if equal else 'DIFFER'}"
+        )
+        if not equal:
+            failures.append(
+                f"{name}: the policy campaign detected a different fault "
+                "set than the static schedule — the mop-up safety net is "
+                "broken"
+            )
+    print(
+        f"  solve wall: static {float(new['solve_seconds_static']):.2f} s, "
+        f"policy {float(new['solve_seconds_policy']):.2f} s — ratio "
+        f"{ratio:.3f} (ceiling {max_solve_ratio:.2f})"
+    )
+    if ratio > max_solve_ratio:
+        failures.append(
+            f"policy solve ratio {ratio:.3f} exceeded the "
+            f"{max_solve_ratio:.2f} ceiling — the learned schedule "
+            "stopped paying for itself"
+        )
+    print(
+        f"  policy activity: {skips} pass skips, "
+        f"{int(counters.get('atpg.policy.deferred', 0))} deferrals, "
+        f"{int(counters.get('atpg.policy.mispredictions', 0))} "
+        "mispredictions"
+    )
+    if skips == 0:
+        failures.append(
+            "the policy never skipped a pass — it was inert, so the "
+            "wall-time ratio measures nothing"
+        )
+
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if failures:
+        return 1
+    print("  PASS")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("new", help="freshly generated benchmark JSON")
@@ -261,6 +326,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="gate BENCH_campaign.json with absolute speedup floors "
         "instead of BENCH_simulation.json against a baseline",
+    )
+    parser.add_argument(
+        "--policy",
+        action="store_true",
+        help="gate BENCH_policy.json: identical detected sets and a "
+        "solve wall-time ratio at or below --max-solve-ratio",
     )
     parser.add_argument(
         "--min-ratio",
@@ -295,7 +366,16 @@ def main(argv=None) -> int:
         help="--campaign: minimum concurrent service-load clients, "
         "gated only when the file has a 'service' section (default 100)",
     )
+    parser.add_argument(
+        "--max-solve-ratio",
+        type=float,
+        default=0.9,
+        help="--policy: maximum policy/static solve wall-time ratio "
+        "(default 0.9 — at least a 10%% saving)",
+    )
     args = parser.parse_args(argv)
+    if args.policy:
+        return compare_policy(load(args.new), args.max_solve_ratio)
     if args.campaign:
         return compare_campaign(
             load(args.new),

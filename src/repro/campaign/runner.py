@@ -156,12 +156,12 @@ class CampaignRunner:
         wall0 = self.clock()
         phase_times: Dict[str, float] = {}
         items = build_items(self.spec)
-        queue = WorkQueue(items, self.spec.max_attempts)
         payloads: Dict[str, Dict[str, Any]] = {}
         journal = Journal(self.journal_path)
         try:
+            restored: Optional[JournalState] = None
             if resume:
-                self._restore(items, queue, payloads)
+                restored = self._validate_resume(items)
             else:
                 if (
                     os.path.exists(self.journal_path)
@@ -194,6 +194,18 @@ class CampaignRunner:
                 self.spec, cache=self.warm_cache
             )
             phase_times["warm_s"] = self.clock() - t0
+            # dispatch order is an execution detail (items are isolated
+            # and the merge sorts by item id), so the policy's cheap-
+            # first ordering applies to fresh runs and resumes alike
+            items = self._policy_order(items, warm_state)
+            queue = WorkQueue(items, self.spec.max_attempts)
+            if restored is not None:
+                for item_id, payload in restored.done.items():
+                    queue.restore_done(item_id)
+                    payloads[item_id] = payload
+                for item_id, attempts in restored.attempts.items():
+                    if item_id not in restored.done:
+                        queue.restore_attempts(item_id, attempts)
             with warm.activate(warm_state):
                 t0 = self.clock()
                 if self.workers == 1 or _fork_context() is None:
@@ -288,12 +300,8 @@ class CampaignRunner:
             )
 
     # -- resume restoration --------------------------------------------
-    def _restore(
-        self,
-        items: List[WorkItem],
-        queue: WorkQueue,
-        payloads: Dict[str, Dict[str, Any]],
-    ) -> None:
+    def _validate_resume(self, items: List[WorkItem]) -> JournalState:
+        """Replay the journal and check it belongs to this campaign."""
         state = JournalState.replay(self.journal_path)
         if state.spec_hash != self.spec.spec_hash():
             raise CampaignError(
@@ -307,12 +315,51 @@ class CampaignRunner:
                     f"{item_id}: fault shard drifted since the campaign "
                     f"was planned — start a fresh campaign"
                 )
-        for item_id, payload in state.done.items():
-            queue.restore_done(item_id)
-            payloads[item_id] = payload
-        for item_id, attempts in state.attempts.items():
-            if item_id not in state.done:
-                queue.restore_attempts(item_id, attempts)
+        return state
+
+    # -- policy-driven dispatch order ----------------------------------
+    def _policy_order(
+        self,
+        items: List[WorkItem],
+        warm_state: "warm.CampaignWarmState",
+    ) -> List[WorkItem]:
+        """Order the catalogue cheap-first under the spec's policy.
+
+        Purely an execution-order optimization: items are isolated, the
+        merge stage sorts payloads by item id, and journal identity is
+        id-based — so reordering changes wall-clock shape (cheap wins
+        land early, predicted-futile shards run last) but never results.
+        Without a policy the catalogue order is returned untouched.
+        """
+        if not self.spec.policy_file:
+            return items
+        circuit_rank = {
+            name: pos for pos, name in enumerate(self.spec.circuits)
+        }
+        ranks: Dict[str, int] = {}
+        for name in self.spec.circuits:
+            state = warm_state.get(name)
+            if state is None or state.policy_plan is None:
+                continue
+            for pos, fault in enumerate(
+                state.policy_plan.order(state.faults)
+            ):
+                ranks[f"{name}:{fault}"] = pos
+
+        def key(item: WorkItem) -> Tuple[int, int, str]:
+            state = warm_state.get(item.circuit)
+            best = len(ranks)
+            if state is not None and state.policy_plan is not None:
+                shard = state.faults[item.start : item.start + item.count]
+                item_ranks = [
+                    ranks.get(f"{item.circuit}:{fault}", len(ranks))
+                    for fault in shard
+                ]
+                if item_ranks:
+                    best = min(item_ranks)
+            return (circuit_rank.get(item.circuit, 0), best, item.item_id)
+
+        return sorted(items, key=key)
 
     # -- shared outcome policy -----------------------------------------
     def _settle(

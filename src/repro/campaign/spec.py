@@ -60,6 +60,12 @@ class CampaignSpec:
             ``None`` disables them, which keeps items deterministic and is
             what campaign resume equality relies on.
         backtracks: pass-1 PODEM backtrack budget.
+        justify_depth: deterministic reverse-time justification frame
+            bound.  The default (16) matches the schedule builders;
+            wall-clock-free campaigns on deeper circuits shrink it so the
+            deterministic passes stay polynomial (every budget must then
+            be structural).  Serialized only when non-default, so
+            existing specs keep their hash.
         baseline: run the deterministic HITEC baseline schedule instead of
             GA-HITEC.
         backend: simulation backend for every item (``None`` = default).
@@ -82,6 +88,14 @@ class CampaignSpec:
             a ``repro-knowledge/v1`` sidecar next to the journal.
         knowledge_file: optional ``repro-knowledge/v1`` sidecar preloaded
             into every item's store (a fixed input, so determinism holds).
+        policy_file: optional ``repro-policy/v1`` artifact (trained via
+            ``repro train-policy``) applied to every item: faults are
+            reordered cheap-first and passes predicted not to resolve a
+            fault skip it, with the schedule's final pass always
+            targeting everything remaining (the mop-up safety net).
+            Lives in the spec because it affects results; serialized
+            only when set, so policy-less specs keep the hash (and
+            journal identity) they had before the field existed.
         knowledge_broadcast: live cross-worker fact sharing.  When on,
             pooled workers publish proven justified/unjustifiable states
             to a side channel next to the journal and fold peers' facts
@@ -101,6 +115,7 @@ class CampaignSpec:
     seq_len: int = 0
     time_scale: Optional[float] = None
     backtracks: int = 100
+    justify_depth: int = 16
     baseline: bool = False
     backend: Optional[str] = None
     width: int = 64
@@ -111,6 +126,7 @@ class CampaignSpec:
     knowledge: bool = True
     knowledge_file: Optional[str] = None
     knowledge_broadcast: bool = False
+    policy_file: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.circuits:
@@ -121,6 +137,8 @@ class CampaignSpec:
             raise CampaignError("passes must be at least 1")
         if self.max_attempts < 1:
             raise CampaignError("max_attempts must be at least 1")
+        if self.justify_depth < 1:
+            raise CampaignError("justify_depth must be at least 1")
         # tuple-ify so specs parsed from JSON lists hash identically
         if not isinstance(self.circuits, tuple):
             object.__setattr__(self, "circuits", tuple(self.circuits))
@@ -133,6 +151,7 @@ class CampaignSpec:
                 num_passes=self.passes,
                 time_scale=self.time_scale,
                 backtrack_base=self.backtracks,
+                justify_depth=self.justify_depth,
             )
         x = self.seq_len or max(4, 4 * circuit.sequential_depth)
         return gahitec_schedule(
@@ -140,6 +159,7 @@ class CampaignSpec:
             num_passes=self.passes,
             time_scale=self.time_scale,
             backtrack_base=self.backtracks,
+            justify_depth=self.justify_depth,
         )
 
     # -- serialization -------------------------------------------------
@@ -151,6 +171,10 @@ class CampaignSpec:
         # (and journal identity) they had before the field existed
         if not self.knowledge_broadcast:
             del data["knowledge_broadcast"]
+        if self.policy_file is None:
+            del data["policy_file"]
+        if self.justify_depth == 16:
+            del data["justify_depth"]
         return data
 
     @classmethod

@@ -42,9 +42,11 @@ from ..circuits.resolve import resolve_circuit
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
 from ..knowledge import KnowledgeError, StateKnowledge, load_store_for
+from ..policy.model import FaultPolicy, PolicyError
+from ..policy.schedule import PolicyPlan, build_plan
 from ..simulation.compiled import CompiledCircuit, compile_circuit
 from ..simulation.fault_sim import FaultSimulator
-from .spec import CampaignSpec
+from .spec import CampaignError, CampaignSpec
 
 
 @dataclass
@@ -62,6 +64,13 @@ class CircuitWarmState:
             circuit from the spec's preload sidecar, or ``None``.  Kept
             serialized: each item deserializes its own private copy, so
             warm preloading cannot leak state between items.
+        policy_plan: the precomputed
+            :class:`~repro.policy.schedule.PolicyPlan` for this circuit
+            under the spec's ``policy_file``, or ``None`` (no policy,
+            or the circuit is outside the policy's trained family —
+            items then run the static schedule).  The plan is immutable
+            and deterministic, so sharing one object across items is
+            safe.
     """
 
     circuit: Circuit
@@ -69,6 +78,7 @@ class CircuitWarmState:
     testability: Testability
     faults: List[Fault]
     knowledge_doc: Optional[Dict[str, Any]] = None
+    policy_plan: Optional[PolicyPlan] = None
 
     def knowledge_store(self) -> Optional[StateKnowledge]:
         """A fresh, private preloaded store (or None without a preload)."""
@@ -85,10 +95,12 @@ def circuit_warm_key(spec: CampaignSpec, name: str) -> Optional[str]:
     seeds, schedules, and the like do not feed the warm build — so a
     long-lived host (the service) can reuse one build across many jobs.
     Returns ``None`` when the state must not be cached: a knowledge
-    preload reads a mutable sidecar file whose contents affect results,
-    so caching it could serve a stale store.
+    preload or a policy artifact reads a mutable file whose contents
+    affect results, so caching it could serve a stale store or plan.
     """
     if spec.knowledge and spec.knowledge_file:
+        return None
+    if spec.policy_file:
         return None
     return "|".join(
         str(part)
@@ -131,6 +143,15 @@ class CampaignWarmState:
         circuits: Dict[str, CircuitWarmState] = {}
         if spec.synthetic_item_seconds is not None:
             return cls(spec.spec_hash(), circuits)
+        policy: Optional[FaultPolicy] = None
+        if spec.policy_file:
+            # unlike the knowledge preload, the policy affects results
+            # (the spec hashes it), so an unreadable artifact is a
+            # campaign failure, not a silently skipped accelerator
+            try:
+                policy = FaultPolicy.load(spec.policy_file)
+            except PolicyError as exc:
+                raise CampaignError(str(exc)) from exc
         for name in spec.circuits:
             key = circuit_warm_key(spec, name) if cache is not None else None
             if key is not None:
@@ -157,12 +178,19 @@ class CampaignWarmState:
             # from REPRO_KERNEL_CACHE) its kernels now, pre-fork
             sim = FaultSimulator(cc, width=spec.width, backend=spec.backend)
             sim.simulate_good([[0] * len(circuit.inputs)])
+            testability = compute_testability(cc)
+            plan: Optional[PolicyPlan] = None
+            if policy is not None:
+                plan = build_plan(
+                    policy, cc, testability, faults, final_pass=spec.passes
+                )
             state = CircuitWarmState(
                 circuit=circuit,
                 cc=cc,
-                testability=compute_testability(cc),
+                testability=testability,
                 faults=faults,
                 knowledge_doc=doc,
+                policy_plan=plan,
             )
             circuits[name] = state
             if key is not None:

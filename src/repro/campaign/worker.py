@@ -42,6 +42,9 @@ from ..knowledge import (
     StateKnowledge,
     load_store_for,
 )
+from ..policy.model import FaultPolicy, PolicyError
+from ..policy.schedule import PolicyPlan
+from ..telemetry import TelemetryRecorder
 from . import warm
 from .queue import WorkItem, _hash_faults, shard_faults
 from .spec import CampaignError, CampaignSpec
@@ -115,6 +118,28 @@ def _item_knowledge(
     return True
 
 
+def _item_policy(
+    spec: CampaignSpec,
+    warm_circuit: Optional[warm.CircuitWarmState],
+) -> "PolicyPlan | FaultPolicy | None":
+    """The scheduling policy one item's driver should run under.
+
+    Warm items get the plan precomputed at warm-build time; cold items
+    load the artifact and let the driver build an identical plan (plan
+    construction is deterministic, so both paths agree bit for bit).
+    An unreadable artifact fails the item: the policy is named by the
+    spec and affects results, unlike the knowledge accelerator.
+    """
+    if not spec.policy_file:
+        return None
+    if warm_circuit is not None:
+        return warm_circuit.policy_plan
+    try:
+        return FaultPolicy.load(spec.policy_file)
+    except PolicyError as exc:
+        raise CampaignError(str(exc)) from exc
+
+
 def run_item(
     spec: CampaignSpec,
     item: WorkItem,
@@ -157,6 +182,11 @@ def run_item(
             f"planned (hash mismatch) — start a fresh campaign"
         )
     knowledge = _item_knowledge(spec, circuit.name, warm_circuit, channel)
+    policy = _item_policy(spec, warm_circuit)
+    # policy-steered items carry a real recorder so the campaign report
+    # rolls up the atpg.policy.* counters (reorders, skips, deferrals);
+    # plain items keep the no-op recorder and their payloads unchanged
+    recorder = TelemetryRecorder() if spec.policy_file else None
     driver = HybridTestGenerator(
         circuit,
         seed=item.seed,
@@ -169,6 +199,8 @@ def run_item(
         testability=(
             warm_circuit.testability if warm_circuit is not None else None
         ),
+        policy=policy,
+        telemetry=recorder,
     )
     deadline = (
         tick() + spec.item_timeout_s

@@ -9,7 +9,11 @@ Commands
 (alias: ``run-hybrid``); ``--telemetry`` saves a structured run report,
 ``--trace`` saves span trace events as JSONL.
 ``report``    — pretty-print a saved run report, or diff two of them;
-``--json`` emits the same information machine-readably.
+``--json`` emits the same information machine-readably and
+``--dispositions`` exports the per-fault rows as JSONL.
+``train-policy`` — fit a ``repro-policy/v1`` scheduling policy (see
+``docs/POLICY.md``) from saved run reports; apply it with
+``atpg --policy`` or ``campaign run --policy``.
 ``campaign``  — durable multi-circuit campaigns: ``campaign run`` executes
 a :class:`~repro.campaign.CampaignSpec` across worker processes with a
 journal, ``campaign resume`` continues a killed campaign, and
@@ -28,6 +32,7 @@ Circuits are either ``.bench`` files or names of built-in benchmarks
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import functools
 import json
 import os
@@ -46,6 +51,7 @@ from .faults.collapse import collapse_faults
 from .hybrid.driver import gahitec, hitec_baseline
 from .hybrid.passes import gahitec_schedule, hitec_schedule
 from .knowledge import load_store_for, save_knowledge
+from .policy import FaultPolicy, PolicyError, dataset_from_reports, train_policy
 from .telemetry import RunReport, TelemetryRecorder, diff_reports, render_diff
 
 __all__ = ["build_parser", "main", "resolve_circuit"]
@@ -120,12 +126,18 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+@_expected_errors(PolicyError)
 def cmd_atpg(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit)
     x = args.seq_len or max(4, 4 * circuit.sequential_depth)
     recorder = None
     if args.telemetry or args.trace:
         recorder = TelemetryRecorder(trace=bool(args.trace))
+    policy = FaultPolicy.load(args.policy) if args.policy else None
+    if policy is not None and not policy.covers(circuit.name):
+        print(f"note: {args.policy} was trained on "
+              f"{', '.join(policy.circuits)}; {circuit.name} runs the "
+              f"static schedule")
     knowledge: object = not args.no_knowledge
     if knowledge and args.knowledge_in:
         preloaded = load_store_for(args.knowledge_in, circuit.name,
@@ -138,7 +150,8 @@ def cmd_atpg(args: argparse.Namespace) -> int:
     if args.baseline:
         driver = hitec_baseline(circuit, seed=args.seed,
                                 backend=args.backend, jobs=args.jobs,
-                                telemetry=recorder, knowledge=knowledge)
+                                telemetry=recorder, knowledge=knowledge,
+                                policy=policy)
         schedule = hitec_schedule(
             num_passes=args.passes,
             time_scale=args.time_scale,
@@ -147,7 +160,8 @@ def cmd_atpg(args: argparse.Namespace) -> int:
     else:
         driver = gahitec(circuit, seed=args.seed,
                          backend=args.backend, jobs=args.jobs,
-                         telemetry=recorder, knowledge=knowledge)
+                         telemetry=recorder, knowledge=knowledge,
+                         policy=policy)
         schedule = gahitec_schedule(
             x=x,
             num_passes=args.passes,
@@ -193,6 +207,15 @@ def cmd_atpg(args: argparse.Namespace) -> int:
 @_expected_errors(OSError, ValueError, KeyError)
 def cmd_report(args: argparse.Namespace) -> int:
     new = RunReport.load(args.report)
+    if args.dispositions:
+        with open(args.dispositions, "w", encoding="utf-8") as handle:
+            for record in new.faults:
+                handle.write(json.dumps(
+                    dataclasses.asdict(record), sort_keys=True) + "\n")
+        print(f"wrote {len(new.faults)} fault dispositions "
+              f"to {args.dispositions}")
+        if not (args.against or args.json):
+            return 0
     if args.against:
         old = RunReport.load(args.against)
         if args.json:
@@ -234,6 +257,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         seq_len=args.seq_len,
         time_scale=args.time_scale,
         backtracks=args.backtracks,
+        justify_depth=args.justify_depth,
         baseline=args.baseline,
         backend=args.backend,
         fault_limit=args.fault_limit,
@@ -242,6 +266,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         knowledge=not args.no_knowledge,
         knowledge_file=args.knowledge_from,
         knowledge_broadcast=args.broadcast,
+        policy_file=args.policy,
     )
 
 
@@ -266,6 +291,29 @@ def _finish_campaign(result, args: argparse.Namespace) -> int:
             _write_vectors(path, circuit_result.vectors)
             print(f"wrote {len(circuit_result.vectors)} vectors to {path}")
     return 1 if result.items_failed else 0
+
+
+@_expected_errors(OSError, PolicyError, ValueError)
+def cmd_train_policy(args: argparse.Namespace) -> int:
+    dataset = dataset_from_reports(args.reports)
+    if not dataset.rows:
+        raise PolicyError(
+            "no trainable fault dispositions in the given reports"
+        )
+    options = {"shrink_ga": True} if args.shrink_ga else None
+    policy = train_policy(dataset, rounds=args.rounds, options=options)
+    policy.save(args.output)
+    print(f"dataset: {dataset.summary()}")
+    xs = dataset.matrix()
+    rows = dataset.rows
+    print(f"fit: detect mae "
+          f"{policy.detect.mean_abs_error(xs, [r.detected for r in rows]):.4f}"
+          f"  pass mae "
+          f"{policy.resolve_pass.mean_abs_error(xs, [r.resolve_pass for r in rows]):.4f}"
+          f"  cost mae "
+          f"{policy.cost.mean_abs_error(xs, [r.cost for r in rows]):.4f}")
+    print(f"wrote policy [{policy.fingerprint}] to {args.output}")
+    return 0
 
 
 @_expected_errors(CampaignError, OSError)
@@ -459,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable cross-fault state-knowledge reuse")
     p.add_argument("--knowledge-in", metavar="PATH",
                    help="preload a repro-knowledge/v1 sidecar")
+    p.add_argument("--policy", metavar="PATH",
+                   help="repro-policy/v1 artifact (see `repro "
+                        "train-policy`): reorder faults cheap-first and "
+                        "skip passes predicted not to resolve them")
     p.add_argument("--knowledge-out", metavar="PATH",
                    help="write the run's knowledge store to PATH")
     _add_sim_options(p)
@@ -474,7 +526,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only show fields whose values differ")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of text")
+    p.add_argument("--dispositions", metavar="PATH",
+                   help="export per-fault dispositions (features, "
+                        "resolving pass, cost) as JSONL to PATH")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "train-policy",
+        help="train a repro-policy/v1 scheduling policy from run reports",
+    )
+    p.add_argument("reports", nargs="+",
+                   help="repro-run-report/v1 files (from --telemetry or "
+                        "campaign --report) to mine for training rows")
+    p.add_argument("-o", "--output", required=True,
+                   help="write the repro-policy/v1 artifact to this file")
+    p.add_argument("--rounds", type=int, default=40,
+                   help="boosting rounds per model (default 40)")
+    p.add_argument("--shrink-ga", action="store_true",
+                   help="also halve GA budgets on predicted-cheap faults "
+                        "(off by default: maximally conservative)")
+    p.set_defaults(func=cmd_train_policy)
 
     p = sub.add_parser(
         "campaign", help="durable, resumable multi-circuit campaigns"
@@ -510,6 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fraction of the paper's per-fault time limits "
                          "(default none: fully deterministic items)")
     cp.add_argument("--backtracks", type=int, default=100)
+    cp.add_argument("--justify-depth", type=int, default=16,
+                    help="deterministic reverse-time frame bound "
+                         "(shrink for wall-clock-free runs on deep "
+                         "circuits)")
     cp.add_argument("--baseline", action="store_true",
                     help="run the HITEC baseline instead of GA-HITEC")
     cp.add_argument("--backend", choices=["event", "codegen", "numpy"],
@@ -531,6 +606,10 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--broadcast", action="store_true",
                     help="share proven facts between workers live (faster "
                          "at >1 workers; results become timing-dependent)")
+    cp.add_argument("--policy", metavar="PATH", default=None,
+                    help="repro-policy/v1 artifact applied to every item "
+                         "(cheap-first order + predicted pass skips; the "
+                         "final pass always targets everything)")
     _campaign_runner_options(cp)
     cp.set_defaults(func=cmd_campaign_run)
 

@@ -43,6 +43,9 @@ from ..clock import monotonic
 from ..faults.model import Fault
 from ..ga.justification import GAJustifyParams, GAStateJustifier
 from ..knowledge import KnowledgeError, StateKnowledge
+from ..policy.features import fault_features
+from ..policy.model import FaultPolicy
+from ..policy.schedule import PolicyPlan, build_plan
 from ..simulation import codegen, kernel_cache
 from ..simulation.encoding import X
 from ..telemetry import (
@@ -110,6 +113,17 @@ class HybridTestGenerator:
             ``False`` disables reuse entirely.
         testability: precomputed SCOAP measures (e.g. from a campaign's
             warm fork state); computed lazily when omitted.
+        policy: learned fault-scheduling policy (``repro.policy``).
+            Either a trained :class:`~repro.policy.model.FaultPolicy`
+            (a per-circuit plan is built when :meth:`run` knows the
+            schedule) or a prebuilt
+            :class:`~repro.policy.schedule.PolicyPlan` (e.g. from a
+            campaign's warm state).  The plan reorders the fault list
+            cheap-first and skips targeting faults in passes predicted
+            not to resolve them; the schedule's final pass always
+            targets everything remaining, so deferral can only move
+            work later, never drop it.  ``None`` (default) preserves
+            today's static behaviour exactly.
     """
 
     def __init__(
@@ -129,6 +143,7 @@ class HybridTestGenerator:
         clock: Optional[Callable[[], float]] = None,
         knowledge: "bool | StateKnowledge" = True,
         testability: Optional[Testability] = None,
+        policy: "FaultPolicy | PolicyPlan | None" = None,
     ):
         self.circuit = circuit
         self.seed = seed
@@ -183,6 +198,8 @@ class HybridTestGenerator:
         self.generator_name = generator_name
         self.use_current_state = use_current_state
 
+        self.policy = policy
+        self._plan: Optional[PolicyPlan] = None
         self.all_faults: List[Fault] = (
             list(faults) if faults is not None else self.ctx.faults
         )
@@ -275,6 +292,15 @@ class HybridTestGenerator:
         self.good_state = [X] * len(self.cc.ff_out)
         self.fault_states = {}
         self._records = {}
+        self._plan = self._resolve_plan(schedule)
+        if self._plan is not None:
+            if self._plan.reorder:
+                ordered = self._plan.order(self.remaining)
+                moved = sum(1 for a, b in zip(ordered, self.remaining) if a is not b)
+                if moved:
+                    self.remaining = ordered
+                    tel.count("atpg.policy.faults_reordered", moved)
+            tel.count("atpg.policy.deferred", self._plan.deferred_count())
 
         report = RunReport(
             circuit=self.circuit.name,
@@ -353,6 +379,21 @@ class HybridTestGenerator:
         result.report = report
         return result
 
+    def _resolve_plan(self, schedule: Sequence[PassConfig]) -> Optional[PolicyPlan]:
+        """The per-circuit plan for this run, or ``None`` (static)."""
+        if self.policy is None or not schedule:
+            return None
+        if isinstance(self.policy, PolicyPlan):
+            plan = self.policy
+            return plan if plan.circuit == self.circuit.name else None
+        return build_plan(
+            self.policy,
+            self.cc,
+            self.meas,
+            self.all_faults,
+            final_pass=schedule[-1].number,
+        )
+
     def _finalize_report(self, report: RunReport) -> None:
         """Fill the campaign totals and per-fault dispositions."""
         for fault in self.prefiltered_untestable:
@@ -361,10 +402,23 @@ class HybridTestGenerator:
                     fault=str(fault),
                     status="prefiltered",
                     justification="deterministic",
+                    features=fault_features(self.cc, self.meas, fault),
                 )
             )
+        mispredicted = 0
         for fault in self.all_faults:
-            report.faults.append(self._record_for(fault))
+            record = self._record_for(fault)
+            record.features = fault_features(self.cc, self.meas, fault)
+            report.faults.append(record)
+            if self._plan is not None:
+                plan = self._plan.plan_for(fault)
+                if plan is not None and (
+                    (plan.deferred and record.status == "detected")
+                    or (not plan.deferred and record.status == "aborted")
+                ):
+                    mispredicted += 1
+        if self._plan is not None and mispredicted:
+            self.telemetry.count("atpg.policy.mispredictions", mispredicted)
         report.detected = len(self.detected)
         report.untestable = len(self.untestable)
         report.vectors = len(self.test_set)
@@ -377,6 +431,15 @@ class HybridTestGenerator:
             report.metrics = self.telemetry.registry.to_dict()
 
     # ------------------------------------------------------------------
+    def _knowledge_hit_total(self) -> int:
+        """Sum of the store's hit-style counters (per-fault deltas)."""
+        stats = self.knowledge.stats if self.knowledge is not None else {}
+        return (
+            stats.get("justified_hits", 0)
+            + stats.get("unjustifiable_hits", 0)
+            + stats.get("podem_pruned", 0)
+        )
+
     def _record_for(self, fault: Fault) -> FaultRecord:
         record = self._records.get(fault)
         if record is None:
@@ -392,6 +455,11 @@ class HybridTestGenerator:
         for fault in list(self.remaining):
             if fault in self.detected:
                 continue  # dropped incidentally earlier in this pass
+            if self._plan is not None and not self._plan.eligible(fault, cfg.number):
+                # the policy predicts this pass cannot resolve the
+                # fault; a later pass (at worst the mop-up) targets it
+                self.telemetry.count("atpg.policy.pass_skips")
+                continue
             if self._deadline is not None and self.clock() >= self._deadline:
                 self.deadline_expired = True
                 break
@@ -414,6 +482,7 @@ class HybridTestGenerator:
         record.targeted += 1
         record.pass_number = cfg.number
         ga_generations0 = tel.value("ga.generations")
+        knowledge0 = self._knowledge_hit_total() if self.knowledge is not None else 0
         started = self.clock()
 
         deadline = (
@@ -438,6 +507,8 @@ class HybridTestGenerator:
         )
         record.backtracks += result.backtracks
         record.ga_generations += tel.value("ga.generations") - ga_generations0
+        if self.knowledge is not None:
+            record.knowledge_hits += self._knowledge_hit_total() - knowledge0
 
         if result.status is TestGenStatus.DETECTED:
             sequence = [self._fill_x(vec) for vec in result.sequence]
@@ -469,9 +540,17 @@ class HybridTestGenerator:
         self, fault: Fault, cfg: PassConfig, limits: Limits
     ) -> Callable[[Dict[str, int]], JustifyResult]:
         if cfg.justification == GA:
+            population = cfg.population_size
+            generations = cfg.generations
+            if self._plan is not None:
+                plan = self._plan.plan_for(fault)
+                if plan is not None and plan.ga_scale < 1.0:
+                    population = max(2, int(population * plan.ga_scale))
+                    generations = max(1, int(generations * plan.ga_scale))
+                    self.telemetry.count("atpg.policy.budgets_shrunk")
             params = GAJustifyParams(
-                population_size=cfg.population_size,
-                generations=cfg.generations,
+                population_size=population,
+                generations=generations,
                 seq_len=cfg.seq_len,
                 word_width=self.width,
             )

@@ -1,0 +1,53 @@
+"""Learned fault-scheduling policy (HybMT-style meta-prediction).
+
+The static Table-I schedule targets every fault in every pass.  The
+dispositions accumulated in ``repro-run-report/v1`` documents record
+which pass and engine actually resolved each fault and at what cost —
+exactly the supervision needed to *learn* a schedule.  This package
+turns those reports into a deployable policy:
+
+* :mod:`repro.policy.features` — a per-fault static feature vector
+  (SCOAP controllabilities/observability at the fault site, fanout,
+  logic depth, sequential depth, fault polarity/type) computed from the
+  compiled circuit and its :class:`~repro.atpg.scoap.Testability`;
+* :mod:`repro.policy.dataset` — joins features with mined dispositions
+  into labeled training rows;
+* :mod:`repro.policy.model` — a dependency-free gradient-boosted
+  regression-tree predictor with deterministic training, serialized as
+  a versioned ``repro-policy/v1`` JSON artifact;
+* :mod:`repro.policy.schedule` — turns predictions into action: a
+  :class:`~repro.policy.schedule.PolicyPlan` that orders faults
+  cheap-first, starts each fault at the pass predicted to resolve it,
+  and defers predicted-futile faults to the final mop-up pass.
+
+Safety invariant: the final pass of any schedule targets *every*
+remaining fault regardless of prediction, so a policy can skip wasted
+work but can never lose coverage relative to the static schedule's
+committed detections.  See ``docs/POLICY.md``.
+"""
+
+from .features import (
+    FEATURE_NAMES,
+    fault_features,
+    feature_vector,
+    features_for_faults,
+)
+from .dataset import Dataset, DatasetRow, dataset_from_reports
+from .model import FaultPolicy, PolicyError, train_policy
+from .schedule import FaultPlan, PolicyPlan, build_plan
+
+__all__ = [
+    "FEATURE_NAMES",
+    "fault_features",
+    "feature_vector",
+    "features_for_faults",
+    "Dataset",
+    "DatasetRow",
+    "dataset_from_reports",
+    "FaultPolicy",
+    "PolicyError",
+    "train_policy",
+    "FaultPlan",
+    "PolicyPlan",
+    "build_plan",
+]

@@ -6,6 +6,7 @@ Endpoints (all JSON unless noted):
 GET    ``/healthz``                     liveness probe
 GET    ``/stats``                       queue depth, job states, telemetry
 POST   ``/circuits``                    upload a ``.bench`` netlist
+POST   ``/policies``                    upload a ``repro-policy/v1`` artifact
 POST   ``/jobs``                        submit a campaign spec (idempotent)
 GET    ``/jobs``                        list jobs
 GET    ``/jobs/{id}``                   job detail + live journal progress
@@ -33,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
 import os
 from typing import Any, AsyncIterator, Dict, Optional, Tuple
 
@@ -40,6 +42,7 @@ from ..campaign import CampaignError, CampaignSpec, JournalTail
 from ..circuit.bench import load_bench
 from ..circuits.resolve import resolve_circuit
 from ..clock import wall
+from ..policy import FaultPolicy, PolicyError
 from ..telemetry import Recorder, RunReport, TelemetryRecorder, diff_reports
 from .http import EventStream, HttpServer, Request, Response, Router, ServiceError
 from .jobs import JobManager, TERMINAL_STATES
@@ -70,6 +73,7 @@ class ServiceApp:
         router.add("GET", "/healthz", self.healthz)
         router.add("GET", "/stats", self.stats)
         router.add("POST", "/circuits", self.upload_circuit)
+        router.add("POST", "/policies", self.upload_policy)
         router.add("POST", "/jobs", self.submit)
         router.add("GET", "/jobs", self.list_jobs)
         router.add("GET", "/jobs/{job_id}", self.job_detail)
@@ -127,6 +131,39 @@ class ServiceApp:
             status=201,
         )
 
+    # -- policies ------------------------------------------------------
+    def upload_policy(self, request: Request) -> Response:
+        """Store an uploaded ``repro-policy/v1`` artifact, content-addressed.
+
+        The returned ``path`` is what a subsequent spec's ``policy_file``
+        should reference.  The document is validated before it is kept,
+        so a spec naming a stored policy can never fail at warm-build
+        time on a malformed artifact.
+        """
+        data = request.json()
+        doc = data.get("policy", data)
+        try:
+            policy = FaultPolicy.from_dict(doc)
+        except PolicyError as exc:
+            raise ServiceError(400, f"invalid policy: {exc}") from None
+        canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        path = os.path.join(self.manager.policies_dir, f"{digest}.json")
+        if not os.path.exists(path):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(canonical)
+                handle.write("\n")
+            self.manager.telemetry.count("service.policies.uploaded")
+        return Response.json(
+            {
+                "path": path,
+                "fingerprint": policy.fingerprint,
+                "circuits": list(policy.circuits),
+                "trained_rows": policy.trained_rows,
+            },
+            status=201,
+        )
+
     # -- jobs ----------------------------------------------------------
     def submit(self, request: Request) -> Response:
         data = request.json()
@@ -137,6 +174,13 @@ class ServiceApp:
             except Exception as exc:  # noqa: BLE001 — bad circuit -> 400
                 raise ServiceError(
                     400, f"cannot resolve circuit {name!r}: {exc}"
+                ) from None
+        if spec.policy_file:
+            try:
+                FaultPolicy.load(spec.policy_file)
+            except PolicyError as exc:  # missing/invalid artifact -> 400
+                raise ServiceError(
+                    400, f"cannot load policy {spec.policy_file!r}: {exc}"
                 ) from None
         job, created = self.manager.submit(
             spec,

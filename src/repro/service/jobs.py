@@ -121,7 +121,8 @@ class JobManager:
 
     Args:
         root: service state directory — journals (``<spec_hash>.jsonl``),
-            reports, knowledge sidecars, and ``uploads/`` live here.
+            reports, knowledge sidecars, ``uploads/``, and ``policies/``
+            (content-addressed ``repro-policy/v1`` artifacts) live here.
         max_running: campaigns executed concurrently.
         max_queue: total queued jobs across all lanes; submissions past
             it are rejected with 429.
@@ -144,6 +145,8 @@ class JobManager:
         self.root = root
         self.uploads_dir = os.path.join(root, "uploads")
         os.makedirs(self.uploads_dir, exist_ok=True)
+        self.policies_dir = os.path.join(root, "policies")
+        os.makedirs(self.policies_dir, exist_ok=True)
         self.max_running = max(1, int(max_running))
         self.max_queue = max(1, int(max_queue))
         self.client_quota = max(1, int(client_quota))

@@ -43,6 +43,12 @@ class FaultRecord:
         ga_generations: GA generations consumed while targeting it
             (0 when telemetry was disabled).
         incidental: detected by another fault's test, never by its own.
+        features: static per-fault feature dict recorded by the driver
+            (see :data:`repro.policy.features.FEATURE_NAMES`), making
+            reports self-contained policy training data.  ``None`` on
+            reports predating the field — readers must tolerate both.
+        knowledge_hits: knowledge-store hits (justified + unjustifiable
+            + PODEM prunes) credited while targeting this fault.
     """
 
     fault: str
@@ -54,6 +60,8 @@ class FaultRecord:
     justification: str = "none"
     ga_generations: int = 0
     incidental: bool = False
+    features: Optional[Dict[str, float]] = None
+    knowledge_hits: int = 0
 
 
 @dataclass
@@ -237,6 +245,21 @@ def validate_report(data: Any) -> List[str]:
             not isinstance(entry.get("fault"), str),
             f"faults[{index}] missing fault name",
         )
+        features = entry.get("features")
+        _problem(
+            problems,
+            features is not None
+            and (
+                not isinstance(features, dict)
+                or any(
+                    not isinstance(key, str)
+                    or isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    for key, value in features.items()
+                )
+            ),
+            f"faults[{index}] features must be a name->number object",
+        )
     return problems
 
 
@@ -265,6 +288,13 @@ def merge_run_reports(
     Detection totals here are the per-item sums; a campaign merge stage
     that re-grades tests across shards overwrites ``detected``,
     ``vectors``, and ``fault_coverage`` with the cross-credited truth.
+
+    Disposition ordering is deterministic regardless of the order the
+    input reports arrive in: source reports are visited sorted by
+    (circuit, first fault name, seed) — a content-derived key — with
+    each report's own record order preserved, so merges of the same
+    item results always serialize byte-identically (policy training
+    and report diffing rely on this).
     """
     if not reports:
         raise ValueError("cannot merge zero reports")
@@ -304,7 +334,12 @@ def merge_run_reports(
             agg.validation_failures += p.validation_failures
             agg.time_s += p.time_s
     merged.passes = [by_pass[key] for key in sorted(by_pass)]
-    for report in reports:
+
+    def _fault_order(report: RunReport) -> Tuple[str, str, str]:
+        first = report.faults[0].fault if report.faults else ""
+        return (report.circuit, first, str(report.seed))
+
+    for report in sorted(reports, key=_fault_order):
         for record in report.faults:
             copy = FaultRecord(**asdict(record))
             if prefix_faults:

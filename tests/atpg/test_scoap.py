@@ -105,3 +105,64 @@ class TestObservability:
         i = cc.pi[0]
         assert m.cc(i, 0) == m.cc0[i]
         assert m.cc(i, 1) == m.cc1[i]
+
+
+class TestHandComputedCircuit:
+    """Pin every CC0/CC1/CO value of one crafted circuit by hand.
+
+    The circuit mixes reconvergence, an inverter, and a flip-flop so all
+    three measures exercise their interesting terms::
+
+        g1 = AND(a, b)        # feeds both g2 and the flip-flop
+        g2 = OR(g1, c)
+        y  = NOT(g2)          # primary output
+        d  = DFF(g1)          # d is a PPI, g1 is a PPO
+        z  = AND(d, c)        # primary output
+    """
+
+    def build(self):
+        c = Circuit("crafted")
+        for name in ("a", "b", "c"):
+            c.add_input(name)
+        c.add_gate("g1", GateType.AND, ["a", "b"])
+        c.add_gate("g2", GateType.OR, ["g1", "c"])
+        c.add_gate("y", GateType.NOT, ["g2"])
+        c.add_gate("d", GateType.DFF, ["g1"])
+        c.add_gate("z", GateType.AND, ["d", "c"])
+        c.add_output("y")
+        c.add_output("z")
+        return measures(c)
+
+    def test_controllability_pins(self):
+        cc, m = self.build()
+        idx = cc.index
+        for name in ("a", "b", "c"):
+            assert m.cc0[idx[name]] == 1 and m.cc1[idx[name]] == 1
+        # flip-flop output: flat ppi_cost both ways
+        assert (m.cc0[idx["d"]], m.cc1[idx["d"]]) == (50, 50)
+        # g1 = AND(a, b): cc0 = min(1,1)+1, cc1 = 1+1+1
+        assert (m.cc0[idx["g1"]], m.cc1[idx["g1"]]) == (2, 3)
+        # g2 = OR(g1, c): cc0 = 2+1+1, cc1 = min(3,1)+1
+        assert (m.cc0[idx["g2"]], m.cc1[idx["g2"]]) == (4, 2)
+        # y = NOT(g2): swaps its input's costs, +1 depth
+        assert (m.cc0[idx["y"]], m.cc1[idx["y"]]) == (3, 5)
+        # z = AND(d, c): cc0 = min(50,1)+1, cc1 = 50+1+1
+        assert (m.cc0[idx["z"]], m.cc1[idx["z"]]) == (2, 52)
+
+    def test_observability_pins(self):
+        cc, m = self.build()
+        idx = cc.index
+        assert m.co[idx["y"]] == 0 and m.co[idx["z"]] == 0
+        # g2 observed through the inverter y
+        assert m.co[idx["g2"]] == 1
+        # g1: min(ppo_cost=30 into the DFF,
+        #         co(g2)+1+cc0(c)=1+1+1 through the OR)
+        assert m.co[idx["g1"]] == 3
+        # c: min(through g2 with g1=0: 1+1+2,
+        #        through z with d=1: 0+1+50)
+        assert m.co[idx["c"]] == 4
+        # d: through z with c=1
+        assert m.co[idx["d"]] == 2
+        # a and b: through g1 with the sibling input held at 1
+        assert m.co[idx["a"]] == 5
+        assert m.co[idx["b"]] == 5

@@ -28,6 +28,10 @@ class TestValidation:
         with pytest.raises(CampaignError):
             spec(max_attempts=0)
 
+    def test_justify_depth_positive(self):
+        with pytest.raises(CampaignError):
+            spec(justify_depth=0)
+
     def test_list_circuits_become_tuple(self):
         assert spec(circuits=["s27", "s298"]).circuits == ("s27", "s298")
 
@@ -70,6 +74,17 @@ class TestHash:
         assert spec(seed=1).spec_hash() != spec(seed=2).spec_hash()
         assert spec(shard_size=8).spec_hash() != spec(shard_size=9).spec_hash()
 
+    def test_default_justify_depth_not_serialized(self):
+        # specs predating the field keep their hash and journal identity
+        data = spec().to_dict()
+        assert "justify_depth" not in data
+        deep = spec(justify_depth=3)
+        assert deep.to_dict()["justify_depth"] == 3
+        assert deep.spec_hash() != spec().spec_hash()
+        assert CampaignSpec.from_dict(
+            deep.to_dict()
+        ).spec_hash() == deep.spec_hash()
+
 
 class TestSchedule:
     def test_gahitec_schedule_length(self, s27_circuit):
@@ -78,6 +93,13 @@ class TestSchedule:
     def test_baseline_schedule(self, s27_circuit):
         schedule = spec(baseline=True).schedule_for(s27_circuit)
         assert all(p.justification == "deterministic" for p in schedule)
+
+    def test_justify_depth_reaches_every_pass(self, s27_circuit):
+        for overrides in ({}, {"baseline": True}):
+            schedule = spec(justify_depth=3, **overrides).schedule_for(
+                s27_circuit
+            )
+            assert all(p.justify_depth == 3 for p in schedule)
 
 
 class TestDeriveSeed:

@@ -1,0 +1,141 @@
+"""Campaign plumbing: spec hash compatibility, warm plans, end-to-end."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignError, CampaignRunner, CampaignSpec
+from repro.campaign.warm import CampaignWarmState, circuit_warm_key
+from repro.policy.dataset import dataset_from_reports
+from repro.policy.model import train_policy
+
+
+def merged(result):
+    return {
+        name: (m.coverage, sorted(m.detected), m.vectors, m.blocks)
+        for name, m in result.circuits.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def policy_file(tmp_path_factory):
+    """Train a policy on one s27 campaign's own report."""
+    tmp = tmp_path_factory.mktemp("train")
+    spec = CampaignSpec(circuits=("s27",), seed=3)
+    result = CampaignRunner(spec, str(tmp / "train.jsonl")).run()
+    policy = train_policy(dataset_from_reports([result.report]))
+    path = str(tmp / "policy.json")
+    policy.save(path)
+    return path
+
+
+class TestSpecCompatibility:
+    def test_hash_unchanged_without_policy(self):
+        spec = CampaignSpec(circuits=("s27",), seed=3)
+        data = spec.to_dict()
+        assert "policy_file" not in data
+        # a spec parsed from a pre-policy document hashes identically
+        assert CampaignSpec.from_dict(
+            json.loads(json.dumps(data))
+        ).spec_hash() == spec.spec_hash()
+
+    def test_policy_file_changes_hash(self, policy_file):
+        base = CampaignSpec(circuits=("s27",), seed=3)
+        steered = CampaignSpec(
+            circuits=("s27",), seed=3, policy_file=policy_file
+        )
+        assert steered.spec_hash() != base.spec_hash()
+        assert steered.to_dict()["policy_file"] == policy_file
+
+    def test_policy_file_roundtrips(self, policy_file):
+        spec = CampaignSpec(
+            circuits=("s27",), seed=3, policy_file=policy_file
+        )
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone.policy_file == policy_file
+        assert clone.spec_hash() == spec.spec_hash()
+
+
+class TestWarmState:
+    def test_policy_campaigns_are_uncacheable(self, policy_file):
+        spec = CampaignSpec(
+            circuits=("s27",), seed=3, policy_file=policy_file
+        )
+        assert circuit_warm_key(spec, "s27") is None
+        plain = CampaignSpec(circuits=("s27",), seed=3)
+        assert circuit_warm_key(plain, "s27") is not None
+
+    def test_warm_build_precomputes_plans(self, policy_file):
+        spec = CampaignSpec(
+            circuits=("s27",), seed=3, policy_file=policy_file
+        )
+        state = CampaignWarmState.build(spec)
+        warm = state.get("s27")
+        assert warm is not None and warm.policy_plan is not None
+        assert warm.policy_plan.circuit == "s27"
+        assert set(warm.policy_plan.plans) == {
+            str(f) for f in warm.faults
+        }
+
+    def test_unreadable_policy_fails_the_build(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        spec = CampaignSpec(
+            circuits=("s27",), seed=3, policy_file=str(bad)
+        )
+        with pytest.raises(CampaignError):
+            CampaignWarmState.build(spec)
+
+    def test_plainspec_build_has_no_plans(self):
+        spec = CampaignSpec(circuits=("s27",), seed=3)
+        state = CampaignWarmState.build(spec)
+        assert state.get("s27").policy_plan is None
+
+
+class TestEndToEnd:
+    def test_policy_campaign_matches_static_coverage(
+        self, tmp_path, policy_file
+    ):
+        static = CampaignRunner(
+            CampaignSpec(circuits=("s27",), seed=3),
+            str(tmp_path / "static.jsonl"),
+        ).run()
+        steered = CampaignRunner(
+            CampaignSpec(
+                circuits=("s27",), seed=3, policy_file=policy_file
+            ),
+            str(tmp_path / "steered.jsonl"),
+        ).run()
+        assert merged(steered) == merged(static)
+
+    def test_policy_campaign_resumes_identically(
+        self, tmp_path, policy_file
+    ):
+        spec = CampaignSpec(
+            circuits=("s27",), seed=3, policy_file=policy_file
+        )
+        journal = str(tmp_path / "steered.jsonl")
+        first = CampaignRunner(spec, journal).run()
+        again = CampaignRunner.resume(journal)
+        assert merged(again) == merged(first)
+
+    def test_policy_telemetry_in_report(self, tmp_path, policy_file):
+        spec = CampaignSpec(
+            circuits=("s27",), seed=3, policy_file=policy_file
+        )
+        result = CampaignRunner(spec, str(tmp_path / "c.jsonl")).run()
+        counters = result.report.metrics.get("counters", {})
+        policy_keys = [
+            k for k in counters if k.startswith("atpg.policy.")
+        ]
+        assert policy_keys
+
+    def test_missing_policy_file_fails_loudly(self, tmp_path):
+        spec = CampaignSpec(
+            circuits=("s27",),
+            seed=3,
+            policy_file=str(tmp_path / "gone.json"),
+        )
+        runner = CampaignRunner(spec, str(tmp_path / "c.jsonl"))
+        with pytest.raises(CampaignError):
+            runner.run()

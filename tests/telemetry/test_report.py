@@ -176,3 +176,45 @@ class TestSummary:
         assert "pass 1" in text
         assert "detected=3" in text and "untestable=1" in text
         assert "atpg.backtracks" in text
+
+
+class TestMergeDeterminism:
+    def merge(self, reports):
+        from repro.telemetry import merge_run_reports
+
+        return merge_run_reports(reports, circuit="all")
+
+    def reports(self):
+        a = sample_report(circuit="s27")
+        b = sample_report(circuit="am2910")
+        c = sample_report(circuit="s27", seed=2)
+        c.faults = [FaultRecord("z9/1", "aborted", pass_number=2)]
+        return [a, b, c]
+
+    def test_disposition_order_ignores_input_order(self):
+        forward = self.merge(self.reports())
+        backward = self.merge(list(reversed(self.reports())))
+        assert [f.fault for f in forward.faults] == [
+            f.fault for f in backward.faults
+        ]
+
+    def test_dispositions_grouped_by_circuit(self):
+        merged = self.merge(self.reports())
+        circuits = [f.fault.split(":")[0] for f in merged.faults]
+        assert circuits == sorted(circuits)
+
+    def test_within_report_record_order_preserved(self):
+        merged = self.merge(self.reports())
+        s27_first = [
+            f.fault for f in merged.faults
+            if f.fault.startswith("s27:") and f.fault != "s27:z9/1"
+        ]
+        assert s27_first == [
+            "s27:g1/0", "s27:g2/1", "s27:g3/0", "s27:g4/1"
+        ]
+
+    def test_features_survive_the_merge(self):
+        report = sample_report()
+        report.faults[0].features = {"cc0": 2.0}
+        merged = self.merge([report])
+        assert merged.faults[0].features == {"cc0": 2.0}
