@@ -19,7 +19,11 @@ repository root.  The gate fails (exit status 1) when:
   below ``--min-numpy-speedup`` (absolute, default 3.0) — the vectorized
   backend's headline claim;
 * a warm kernel-cache pass reports any compilations — a warm start must
-  skip compilation entirely.
+  skip compilation entirely;
+* transition-model grading costs more than ``--max-transition-overhead``
+  (absolute, default 3.0) times stuck-at grading on the codegen backend
+  at identical batch shapes — the launch/capture injection planes must
+  stay a constant-factor tax.
 
 The numpy gates only apply when the fresh file carries the corresponding
 keys (the benchmark ran with numpy installed); baselines produced before
@@ -83,6 +87,11 @@ NUMPY_SPEEDUP_KEY = "numpy_grade_speedup_width256"
 COLD_COMPILES_KEY = "kernel_compiles_cold"
 WARM_COMPILES_KEY = "kernel_compiles_warm"
 
+#: Key of the transition-model grading overhead (codegen transition
+#: grading over codegen stuck-at grading, same batch shapes; absent on
+#: baselines predating the fault-model registry).
+TRANSITION_OVERHEAD_KEY = "transition_grade_overhead_codegen"
+
 
 def load(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as handle:
@@ -94,6 +103,7 @@ def compare(
     baseline: Dict[str, Any],
     min_ratio: float,
     min_numpy_speedup: float = 3.0,
+    max_transition_overhead: float = 3.0,
 ) -> int:
     """Print the comparison; return a process exit status."""
     new_speedup = float(new[SPEEDUP_KEY])
@@ -141,6 +151,24 @@ def compare(
             )
     else:
         print("  numpy grading speedup: not measured (numpy absent)")
+
+    if TRANSITION_OVERHEAD_KEY in new:
+        overhead = float(new[TRANSITION_OVERHEAD_KEY])
+        print(
+            f"  transition grading overhead over stuck-at (codegen): "
+            f"{overhead:.2f}x (ceiling {max_transition_overhead:.2f})"
+        )
+        if overhead > max_transition_overhead:
+            failures.append(
+                f"transition grading cost {overhead:.2f}x stuck-at, "
+                f"above the {max_transition_overhead:.2f}x ceiling — "
+                "launch/capture injection planes got too expensive"
+            )
+    else:
+        print(
+            "  transition grading overhead: not measured "
+            "(file predates the fault-model registry)"
+        )
 
     if WARM_COMPILES_KEY in new:
         cold = int(new.get(COLD_COMPILES_KEY, 0))
@@ -346,6 +374,13 @@ def main(argv=None) -> int:
         help="minimum numpy-over-codegen grading speedup (default 3.0)",
     )
     parser.add_argument(
+        "--max-transition-overhead",
+        type=float,
+        default=3.0,
+        help="maximum transition/stuck-at codegen grading cost ratio "
+        "(default 3.0)",
+    )
+    parser.add_argument(
         "--min-drill-speedup",
         type=float,
         default=2.0,
@@ -391,6 +426,7 @@ def main(argv=None) -> int:
         load(args.baseline),
         args.min_ratio,
         args.min_numpy_speedup,
+        args.max_transition_overhead,
     )
 
 

@@ -21,6 +21,11 @@ Two further metrics target the numpy backend's reason for existing:
   exec-compile a kernel per shape while one numpy program serves all;
 * the *cold vs warm* kernel-cache comparison — with a persistent cache
   directory, a warm process must report **zero** compilations.
+
+A transition-model row repeats the grading workload under the
+transition fault model (same batch shapes): its codegen cost over the
+stuck-at row measures what the launch/capture injection planes add,
+gated by ``check_regression.py --max-transition-overhead``.
 """
 
 from __future__ import annotations
@@ -63,6 +68,16 @@ GRADE_WIDTH = 256
 
 _rows = {}
 _grade = {}
+_tgrade = {}
+
+
+def _maybe_render():
+    if (
+        len(_rows) == len(WIDTHS) * len(BACKENDS)
+        and len(_grade) == len(BACKENDS)
+        and len(_tgrade) == len(BACKENDS)
+    ):
+        _render()
 
 
 def _workload():
@@ -97,15 +112,12 @@ def test_fault_sim_width(benchmark, backend, width):
         vectors[:8], faults[:20], stop_on_all_detected=False
     )
     assert set(baseline.detected) == set(wide.detected)
-    if len(_rows) == len(WIDTHS) * len(BACKENDS) and len(_grade) == len(
-        BACKENDS
-    ):
-        _render()
+    _maybe_render()
 
 
-def _grade_workload():
+def _grade_workload(fault_model="stuck_at"):
     circuit = iscas89(CIRCUIT)
-    faults = collapse_faults(circuit)
+    faults = collapse_faults(circuit, fault_model)
     rng = random.Random(5)
     sizes = [min(n, len(faults)) for n in GRADE_SIZES]
     blocks = [
@@ -133,10 +145,28 @@ def test_fault_sim_grading(benchmark, backend):
 
     benchmark.pedantic(run, iterations=1, rounds=7, warmup_rounds=1)
     _grade[backend] = benchmark.stats.stats.mean
-    if len(_rows) == len(WIDTHS) * len(BACKENDS) and len(_grade) == len(
-        BACKENDS
-    ):
-        _render()
+    _maybe_render()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fault_sim_grading_transition(benchmark, backend):
+    """Distinct-shape grading under the transition fault model.
+
+    Same batch sizes as the stuck-at workload, so the codegen overhead
+    ratio isolates what the launch/capture injection planes cost (the
+    extra previous-frame combine per faulty site).
+    """
+    blocks, batches = _grade_workload("transition")
+
+    def run():
+        cc = compile_circuit(iscas89(CIRCUIT))
+        sim = FaultSimulator(cc, width=GRADE_WIDTH, backend=backend)
+        for block, batch in zip(blocks, batches):
+            sim.run(block, batch, stop_on_all_detected=False)
+
+    benchmark.pedantic(run, iterations=1, rounds=7, warmup_rounds=1)
+    _tgrade[backend] = benchmark.stats.stats.mean
+    _maybe_render()
 
 
 def _measure_cache_warmup(tmp_dir):
@@ -214,6 +244,21 @@ def _render():
             f"{GRADE_WIDTH} (target: 3x)"
         )
 
+    lines.append(
+        f"  transition-model grading (same {len(GRADE_SIZES)} batch "
+        f"shapes, width {GRADE_WIDTH}):"
+    )
+    for backend in BACKENDS:
+        lines.append(
+            f"    {backend:>8s}: {_tgrade[backend] * 1e3:8.1f} ms"
+        )
+    transition_overhead = _tgrade["codegen"] / _grade["codegen"]
+    verdict = "PASS" if transition_overhead <= 3.0 else "FAIL"
+    lines.append(
+        f"  [{verdict}] transition grading costs "
+        f"{transition_overhead:.2f}x stuck-at on codegen (ceiling: 3x)"
+    )
+
     with tempfile.TemporaryDirectory() as tmp_dir:
         cold_compiles, warm_compiles = _measure_cache_warmup(tmp_dir)
     verdict = "PASS" if cold_compiles > 0 and warm_compiles == 0 else "FAIL"
@@ -242,6 +287,8 @@ def _render():
         "grade_batches": len(GRADE_SIZES),
         "kernel_compiles_cold": cold_compiles,
         "kernel_compiles_warm": warm_compiles,
+        "transition_grade_seconds": {b: _tgrade[b] for b in BACKENDS},
+        "transition_grade_overhead_codegen": transition_overhead,
     }
     if numpy_grade_speedup is not None:
         payload["numpy_grade_speedup_width256"] = numpy_grade_speedup

@@ -55,9 +55,18 @@ def evaluate_test_set(
     width: int = 64,
     backend: Optional[str] = None,
     jobs: int = 1,
+    fault_model: str = "stuck_at",
 ) -> CoverageReport:
-    """Fault-simulate ``vectors`` from the all-X state and report coverage."""
-    fault_list = list(faults) if faults is not None else collapse_faults(circuit)
+    """Fault-simulate ``vectors`` from the all-X state and report coverage.
+
+    ``fault_model`` picks the default fault universe (ignored when an
+    explicit ``faults`` list is given, which may mix models freely).
+    """
+    fault_list = (
+        list(faults)
+        if faults is not None
+        else collapse_faults(circuit, fault_model)
+    )
     sim = FaultSimulator(circuit, width=width, backend=backend, jobs=jobs)
     result = sim.run(vectors, fault_list)
     return CoverageReport(

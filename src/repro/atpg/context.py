@@ -30,8 +30,12 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from ..circuit.netlist import Circuit
 from ..clock import monotonic
 from ..faults.collapse import collapse_faults
-from ..faults.model import Fault
-from ..knowledge import StateKnowledge, constraints_fingerprint
+from ..faults.model import DEFAULT_FAULT_MODEL, Fault, resolve_fault_model
+from ..knowledge import (
+    StateKnowledge,
+    constraints_fingerprint,
+    model_fingerprint,
+)
 from ..simulation.compiled import CompiledCircuit, compile_circuit
 from ..simulation.fault_sim import FaultSimulator
 from ..telemetry import NULL_RECORDER, Recorder
@@ -64,6 +68,9 @@ class AtpgContext:
         seed: base seed for :meth:`rng` stream derivation.
         knowledge: cross-fault state-knowledge store shared by every
             engine built on this context (``None`` disables reuse).
+        fault_model: registered fault-model name the context's fault
+            universe (and knowledge environment) is built for; defaults
+            to stuck-at.
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class AtpgContext:
         clock: Optional[Callable[[], float]] = None,
         seed: int = 0,
         knowledge: Optional[StateKnowledge] = None,
+        fault_model: str = DEFAULT_FAULT_MODEL,
     ) -> None:
         if isinstance(circuit, CompiledCircuit):
             self.cc: CompiledCircuit = circuit
@@ -88,6 +96,7 @@ class AtpgContext:
         self.clock: Callable[[], float] = clock or monotonic
         self.seed = seed
         self.knowledge = knowledge
+        self.fault_model = resolve_fault_model(fault_model).name
         self._testability = testability
         self._faults: Optional[List[Fault]] = None
         self._simulators: Dict[Tuple[int, int], FaultSimulator] = {}
@@ -130,7 +139,7 @@ class AtpgContext:
     def faults(self) -> List[Fault]:
         """The collapsed fault universe, computed once per context."""
         if self._faults is None:
-            self._faults = collapse_faults(self.circuit)
+            self._faults = collapse_faults(self.circuit, self.fault_model)
         return list(self._faults)
 
     @property
@@ -140,8 +149,17 @@ class AtpgContext:
 
     @property
     def knowledge_fingerprint(self) -> str:
-        """Constraint-environment fingerprint knowledge facts carry."""
-        return constraints_fingerprint(self.active_constraints)
+        """Constraint-environment fingerprint knowledge facts carry.
+
+        The fault model is part of the environment: justified-state
+        facts mined under one model must not seed runs targeting
+        another.  Stuck-at keeps the historical tag so existing sidecars
+        stay valid.
+        """
+        return model_fingerprint(
+            constraints_fingerprint(self.active_constraints),
+            self.fault_model,
+        )
 
     def make_knowledge(self) -> StateKnowledge:
         """Attach (and return) a fresh store matching this environment."""

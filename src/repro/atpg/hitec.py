@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..circuit.netlist import Circuit
-from ..faults.model import Fault
+from ..faults.model import Fault, resolve_fault_model
 from ..knowledge import StateKnowledge
 from ..simulation.compiled import CompiledCircuit
 from ..simulation.encoding import X
@@ -222,7 +222,16 @@ class SequentialTestGenerator:
         justify_all_exhausted = True
         total_backtracks = 0
 
-        frames = 1
+        fm = resolve_fault_model(fault.model)
+        # Models whose engine view is an approximation (transition) may
+        # not claim untestability: the nine-valued window search is only
+        # an optimistic filter there, so exhaustion means ABORTED.
+        proven_status = (
+            TestGenStatus.UNTESTABLE
+            if fm.untestable_proofs
+            else TestGenStatus.ABORTED
+        )
+        frames = min(max(1, fm.min_window), self.max_frames)
         while frames <= self.max_frames:
             if limits.expired():
                 any_limit = True
@@ -279,14 +288,14 @@ class SequentialTestGenerator:
             provable = not any_limit and frames <= self.max_frames
             if solutions_tried == 0 and not prior_solutions and provable:
                 return TestGenResult(
-                    TestGenStatus.UNTESTABLE,
+                    proven_status,
                     backtracks=total_backtracks,
                     counters=counters,
                 )
             if provable and justify_all_exhausted:
                 # every achievable required state was proven unjustifiable
                 return TestGenResult(
-                    TestGenStatus.UNTESTABLE,
+                    proven_status,
                     backtracks=total_backtracks,
                     counters=counters,
                 )

@@ -248,11 +248,25 @@ class PodemEngine:
                     return None  # requirement provably violated
             return None  # all satisfied (goal check happens first, not here)
 
-        if not model.excitation_possible(0):
+        launch = model.launch_frame
+        if launch >= model.num_frames:
+            # the launch frame lies past the window: growing it is the
+            # only way forward, never a proof of untestability
+            self.window_hit = True
             return None
-        if not model.fault_excited(0):
-            site = model.cc.index[self.fault.net]
-            return (0, site, 1 - self.fault.stuck)
+        if not model.excitation_possible(launch):
+            return None
+        site = model.site_idx
+        if launch:
+            # transition launch: the site must hold the initial value in
+            # the frame before the slow edge (stuck == initial value)
+            g = model.good(launch - 1, site)
+            if g == X:
+                return (launch - 1, site, self.fault.stuck)
+            if g != self.fault.stuck:
+                return None  # site pinned at the final value: no edge
+        if not model.fault_excited(launch):
+            return (launch, site, 1 - self.fault.stuck)
 
         frontier = model.d_frontier()
         if not frontier:

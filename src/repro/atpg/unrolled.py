@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gates import GateType
-from ..faults.model import Fault
+from ..faults.model import DEFAULT_FAULT_MODEL, Fault, resolve_fault_model
 from ..simulation.compiled import CompiledCircuit
 from ..simulation.encoding import PackedValue, X, eval_packed
 from ..simulation.logic_sim import _eval_ints
@@ -67,6 +67,18 @@ class UnrolledModel:
         self._ff_pos: Optional[int] = None
         self._site_idx: Optional[int] = None
         self._stuck = 0
+        #: first frame the injection is active in.  Stuck-at faults are
+        #: present in every frame; a transition fault's slow edge only
+        #: matters from the launch frame on — the engine approximates it
+        #: as the stuck value in frames >= launch and requires the site
+        #: to hold the initial value in the frame before (candidates are
+        #: confirmed against true two-frame semantics by fault
+        #: simulation before being reported).
+        self._inject_from = 0
+        if fault is not None and fault.model != DEFAULT_FAULT_MODEL:
+            self._inject_from = resolve_fault_model(
+                fault.model
+            ).inject_from_frame
         if fault is not None:
             self._stuck = fault.stuck
             self._site_idx = cc.index[fault.net]
@@ -98,6 +110,16 @@ class UnrolledModel:
     def good(self, frame: int, idx: int) -> int:
         """Good-circuit scalar value of a net in a frame."""
         return good_of(self.value(frame, idx))
+
+    @property
+    def launch_frame(self) -> int:
+        """Frame the fault must be excited in (0 except for transition)."""
+        return self._inject_from
+
+    @property
+    def site_idx(self) -> Optional[int]:
+        """Net index of the fault site, or ``None`` when fault-free."""
+        return self._site_idx
 
     def is_leaf(self, frame: int, idx: int) -> bool:
         """True for decidable leaves: any-frame PIs and frame-0 PPIs."""
@@ -140,7 +162,7 @@ class UnrolledModel:
         self, frame: int, idx: int, value: PackedValue, undo: List[UndoRecord]
     ) -> None:
         p1, p0 = value
-        if self._stem_idx == idx:
+        if self._stem_idx == idx and frame >= self._inject_from:
             p1, p0 = _stuck_mask((p1, p0), self._stuck)
         if (p1, p0) == (self.v1[frame][idx], self.v0[frame][idx]):
             return
@@ -154,7 +176,7 @@ class UnrolledModel:
         """Gate input values as the gate sees them (branch fault applied)."""
         gate = self.cc.gates[pos]
         vals = [self.value(frame, i) for i in gate.fanin]
-        if pos == self._pin_gate:
+        if pos == self._pin_gate and frame >= self._inject_from:
             vals[self._pin] = _stuck_mask(vals[self._pin], self._stuck)
         return vals
 
@@ -182,7 +204,7 @@ class UnrolledModel:
         cc = self.cc
         for ff_pos, (out_idx, in_idx) in enumerate(zip(cc.ff_out, cc.ff_in)):
             val = self.value(frame, in_idx)
-            if ff_pos == self._ff_pos:
+            if ff_pos == self._ff_pos and frame + 1 >= self._inject_from:
                 val = _stuck_mask(val, self._stuck)
             self._write(frame + 1, out_idx, val, undo)
 
@@ -191,14 +213,19 @@ class UnrolledModel:
         cc = self.cc
         scratch: List[UndoRecord] = []  # discarded: this *is* the baseline
         for frame in range(self.num_frames):
-            if self._stem_idx is not None and cc.is_source(self._stem_idx):
+            active = frame >= self._inject_from
+            if (
+                active
+                and self._stem_idx is not None
+                and cc.is_source(self._stem_idx)
+            ):
                 p1, p0 = _stuck_mask(self.value(frame, self._stem_idx), self._stuck)
                 self.v1[frame][self._stem_idx] = p1
                 self.v0[frame][self._stem_idx] = p0
             for pos, gate in enumerate(cc.gates):
                 vals = self.effective_inputs(frame, pos)
                 out = eval_packed(gate.gtype, vals, MASK2)
-                if self._stem_idx == gate.out:
+                if self._stem_idx == gate.out and active:
                     out = _stuck_mask(out, self._stuck)
                 self.v1[frame][gate.out] = out[0]
                 self.v0[frame][gate.out] = out[1]

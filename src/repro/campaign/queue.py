@@ -79,7 +79,7 @@ def shard_faults(spec: CampaignSpec, circuit_name: str) -> List[Fault]:
         circuit_state = warm_state.get(circuit_name)
         if circuit_state is not None:
             return list(circuit_state.faults)
-    faults = collapse_faults(resolve_circuit(circuit_name))
+    faults = collapse_faults(resolve_circuit(circuit_name), spec.fault_model)
     if spec.fault_limit is not None:
         faults = faults[: spec.fault_limit]
     return faults

@@ -21,6 +21,11 @@ from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..circuit.netlist import Circuit
+from ..faults.model import (
+    DEFAULT_FAULT_MODEL,
+    FaultModelError,
+    resolve_fault_model,
+)
 from ..hybrid.passes import PassConfig, gahitec_schedule, hitec_schedule
 
 #: Identifier embedded in every serialized spec.
@@ -96,6 +101,12 @@ class CampaignSpec:
             Lives in the spec because it affects results; serialized
             only when set, so policy-less specs keep the hash (and
             journal identity) they had before the field existed.
+        fault_model: registered fault-model name every item targets
+            (``"stuck_at"`` or ``"transition"``).  Lives in the spec
+            because it defines the fault universe and detection
+            semantics; serialized only when non-default, so stuck-at
+            specs keep the hash (and journal identity) they had before
+            the field existed.
         knowledge_broadcast: live cross-worker fact sharing.  When on,
             pooled workers publish proven justified/unjustifiable states
             to a side channel next to the journal and fold peers' facts
@@ -127,6 +138,7 @@ class CampaignSpec:
     knowledge_file: Optional[str] = None
     knowledge_broadcast: bool = False
     policy_file: Optional[str] = None
+    fault_model: str = "stuck_at"
 
     def __post_init__(self) -> None:
         if not self.circuits:
@@ -139,6 +151,10 @@ class CampaignSpec:
             raise CampaignError("max_attempts must be at least 1")
         if self.justify_depth < 1:
             raise CampaignError("justify_depth must be at least 1")
+        try:
+            resolve_fault_model(self.fault_model)
+        except FaultModelError as exc:
+            raise CampaignError(str(exc)) from exc
         # tuple-ify so specs parsed from JSON lists hash identically
         if not isinstance(self.circuits, tuple):
             object.__setattr__(self, "circuits", tuple(self.circuits))
@@ -175,6 +191,8 @@ class CampaignSpec:
             del data["policy_file"]
         if self.justify_depth == 16:
             del data["justify_depth"]
+        if self.fault_model == DEFAULT_FAULT_MODEL:
+            del data["fault_model"]
         return data
 
     @classmethod

@@ -41,7 +41,12 @@ from ..circuit.netlist import Circuit
 from ..circuits.resolve import resolve_circuit
 from ..faults.collapse import collapse_faults
 from ..faults.model import Fault
-from ..knowledge import KnowledgeError, StateKnowledge, load_store_for
+from ..knowledge import (
+    KnowledgeError,
+    StateKnowledge,
+    load_store_for,
+    model_fingerprint,
+)
 from ..policy.model import FaultPolicy, PolicyError
 from ..policy.schedule import PolicyPlan, build_plan
 from ..simulation.compiled import CompiledCircuit, compile_circuit
@@ -109,6 +114,7 @@ def circuit_warm_key(spec: CampaignSpec, name: str) -> Optional[str]:
             spec.width,
             spec.backend or "",
             spec.fault_limit if spec.fault_limit is not None else "",
+            spec.fault_model,
         )
     )
 
@@ -161,14 +167,16 @@ class CampaignWarmState:
                     continue
             circuit = resolve_circuit(name)
             cc = compile_circuit(circuit)
-            faults = collapse_faults(circuit)
+            faults = collapse_faults(circuit, spec.fault_model)
             if spec.fault_limit is not None:
                 faults = faults[: spec.fault_limit]
             doc: Optional[Dict[str, Any]] = None
             if spec.knowledge and spec.knowledge_file:
                 try:
                     store = load_store_for(
-                        spec.knowledge_file, circuit.name, "unconstrained"
+                        spec.knowledge_file,
+                        circuit.name,
+                        model_fingerprint("unconstrained", spec.fault_model),
                     )
                 except (OSError, KnowledgeError):
                     store = None  # an accelerator, never a failed campaign

@@ -41,6 +41,7 @@ from ..knowledge import (
     KnowledgeError,
     StateKnowledge,
     load_store_for,
+    model_fingerprint,
 )
 from ..policy.model import FaultPolicy, PolicyError
 from ..policy.schedule import PolicyPlan
@@ -100,14 +101,16 @@ def _item_knowledge(
     elif spec.knowledge_file:
         try:
             preloaded = load_store_for(
-                spec.knowledge_file, circuit_name, "unconstrained"
+                spec.knowledge_file,
+                circuit_name,
+                model_fingerprint("unconstrained", spec.fault_model),
             )
         except (OSError, KnowledgeError):
             preloaded = None  # an accelerator, never a failed item
     if channel is not None and spec.knowledge_broadcast:
         store = BroadcastKnowledge(
             circuit=circuit_name,
-            fingerprint="unconstrained",
+            fingerprint=model_fingerprint("unconstrained", spec.fault_model),
             channel=channel,
         )
         if preloaded is not None:
@@ -201,6 +204,7 @@ def run_item(
         ),
         policy=policy,
         telemetry=recorder,
+        fault_model=spec.fault_model,
     )
     deadline = (
         tick() + spec.item_timeout_s

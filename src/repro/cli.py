@@ -48,9 +48,15 @@ from .circuit.scan import insert_scan
 from .circuit.verilog import save_verilog
 from .circuits.resolve import resolve_circuit
 from .faults.collapse import collapse_faults
+from .faults.model import (
+    FaultModelError,
+    fault_model_names,
+    fault_site_known,
+    parse_fault,
+)
 from .hybrid.driver import gahitec, hitec_baseline
 from .hybrid.passes import gahitec_schedule, hitec_schedule
-from .knowledge import load_store_for, save_knowledge
+from .knowledge import load_store_for, model_fingerprint, save_knowledge
 from .policy import FaultPolicy, PolicyError, dataset_from_reports, train_policy
 from .telemetry import RunReport, TelemetryRecorder, diff_reports, render_diff
 
@@ -121,14 +127,43 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_faults(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit)
-    for fault in collapse_faults(circuit):
+    for fault in collapse_faults(circuit, args.fault_model):
         print(fault)
     return 0
+
+
+def _target_faults(args: argparse.Namespace, circuit) -> Optional[List]:
+    """The explicit ``--fault`` targets, validated against the circuit.
+
+    Every named fault must parse under the model-qualified grammar,
+    belong to the run's fault model, and name a real site; ``None``
+    means no filter (the collapsed universe).
+    """
+    if not args.fault:
+        return None
+    targets = []
+    for text in args.fault:
+        try:
+            fault = parse_fault(text)
+        except FaultModelError as exc:
+            raise SystemExit(f"--fault {text!r}: {exc}")
+        if fault.model != args.fault_model:
+            raise SystemExit(
+                f"--fault {text!r} is a {fault.model} fault but the run "
+                f"targets {args.fault_model} (use --fault-model)"
+            )
+        if not fault_site_known(circuit, fault):
+            raise SystemExit(
+                f"--fault {text!r}: no such site in {circuit.name}"
+            )
+        targets.append(fault)
+    return targets
 
 
 @_expected_errors(PolicyError)
 def cmd_atpg(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit)
+    faults = _target_faults(args, circuit)
     x = args.seq_len or max(4, 4 * circuit.sequential_depth)
     recorder = None
     if args.telemetry or args.trace:
@@ -140,8 +175,9 @@ def cmd_atpg(args: argparse.Namespace) -> int:
               f"static schedule")
     knowledge: object = not args.no_knowledge
     if knowledge and args.knowledge_in:
-        preloaded = load_store_for(args.knowledge_in, circuit.name,
-                                   "unconstrained")
+        preloaded = load_store_for(
+            args.knowledge_in, circuit.name,
+            model_fingerprint("unconstrained", args.fault_model))
         if preloaded is None:
             print(f"note: {args.knowledge_in} has no knowledge for "
                   f"{circuit.name}; starting fresh")
@@ -151,7 +187,8 @@ def cmd_atpg(args: argparse.Namespace) -> int:
         driver = hitec_baseline(circuit, seed=args.seed,
                                 backend=args.backend, jobs=args.jobs,
                                 telemetry=recorder, knowledge=knowledge,
-                                policy=policy)
+                                policy=policy, faults=faults,
+                                fault_model=args.fault_model)
         schedule = hitec_schedule(
             num_passes=args.passes,
             time_scale=args.time_scale,
@@ -161,7 +198,8 @@ def cmd_atpg(args: argparse.Namespace) -> int:
         driver = gahitec(circuit, seed=args.seed,
                          backend=args.backend, jobs=args.jobs,
                          telemetry=recorder, knowledge=knowledge,
-                         policy=policy)
+                         policy=policy, faults=faults,
+                         fault_model=args.fault_model)
         schedule = gahitec_schedule(
             x=x,
             num_passes=args.passes,
@@ -267,6 +305,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         knowledge_file=args.knowledge_from,
         knowledge_broadcast=args.broadcast,
         policy_file=args.policy,
+        fault_model=args.fault_model,
     )
 
 
@@ -394,11 +433,12 @@ def cmd_faultsim(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit)
     vectors = _read_vectors(args.vectors, len(circuit.inputs))
     report = evaluate_test_set(circuit, vectors,
-                               backend=args.backend, jobs=args.jobs)
+                               backend=args.backend, jobs=args.jobs,
+                               fault_model=args.fault_model)
     print(report)
     if args.list_undetected:
         detected = set(report.detected)
-        for fault in collapse_faults(circuit):
+        for fault in collapse_faults(circuit, args.fault_model):
             if fault not in detected:
                 print(f"  undetected: {fault}")
     return 0
@@ -449,6 +489,14 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_fault_model_option(p: argparse.ArgumentParser) -> None:
+    """The fault-model knob shared by the fault-targeting commands."""
+    p.add_argument("--fault-model", choices=fault_model_names(),
+                   default="stuck_at",
+                   help="registered fault model to target "
+                        "(default: stuck_at)")
+
+
 def _add_sim_options(p: argparse.ArgumentParser) -> None:
     """Simulation-backend options shared by the simulating commands."""
     p.add_argument("--backend", choices=["event", "codegen", "numpy"],
@@ -478,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("faults", help="list the collapsed fault universe")
     p.add_argument("circuit")
+    _add_fault_model_option(p)
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(
@@ -513,6 +562,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "skip passes predicted not to resolve them")
     p.add_argument("--knowledge-out", metavar="PATH",
                    help="write the run's knowledge store to PATH")
+    p.add_argument("--fault", action="append", metavar="FAULT",
+                   help="target only this fault (model-qualified grammar, "
+                        "e.g. 'G10 s-a-1' or 'G5->G7.0 s-t-r'); repeatable")
+    _add_fault_model_option(p)
     _add_sim_options(p)
     p.set_defaults(func=cmd_atpg)
 
@@ -610,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="repro-policy/v1 artifact applied to every item "
                          "(cheap-first order + predicted pass skips; the "
                          "final pass always targets everything)")
+    _add_fault_model_option(cp)
     _campaign_runner_options(cp)
     cp.set_defaults(func=cmd_campaign_run)
 
@@ -650,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("circuit")
     p.add_argument("vectors", help="file with one 0/1/x vector per line")
     p.add_argument("--list-undetected", action="store_true")
+    _add_fault_model_option(p)
     _add_sim_options(p)
     p.set_defaults(func=cmd_faultsim)
 

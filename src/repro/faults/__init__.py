@@ -1,13 +1,31 @@
-"""Single stuck-at fault model, fault universes, and equivalence collapsing."""
+"""Fault models (stuck-at, transition), universes, and collapsing."""
 
-from .model import Fault, fault_site_known, full_fault_list
+from .model import (
+    DEFAULT_FAULT_MODEL,
+    Fault,
+    FaultModel,
+    FaultModelError,
+    fault_model_names,
+    fault_site_known,
+    full_fault_list,
+    parse_fault,
+    register_fault_model,
+    resolve_fault_model,
+)
 from .collapse import collapse_faults, collapse_ratio, equivalence_classes
 
 __all__ = [
+    "DEFAULT_FAULT_MODEL",
     "Fault",
+    "FaultModel",
+    "FaultModelError",
     "collapse_faults",
     "collapse_ratio",
     "equivalence_classes",
+    "fault_model_names",
     "fault_site_known",
     "full_fault_list",
+    "parse_fault",
+    "register_fault_model",
+    "resolve_fault_model",
 ]

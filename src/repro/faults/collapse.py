@@ -1,7 +1,7 @@
 """Structural fault-equivalence collapsing.
 
 Two faults are structurally equivalent when every test for one detects the
-other.  The classic local rules implemented here:
+other.  The classic local rules implemented here are *stuck-at* rules:
 
 * a controlling input value ``c`` on an AND/NAND/OR/NOR gate is equivalent
   to the output stuck at ``c XOR inversion``;
@@ -14,6 +14,12 @@ other.  The classic local rules implemented here:
 Equivalence classes are built with union-find; the returned representative
 of each class is the lexicographically smallest member, so collapsing is
 deterministic.
+
+Other fault models bring their own collapse rules:
+:func:`collapse_faults` dispatches through the
+:mod:`repro.faults.model` registry for any non-default ``model`` (the
+transition model, for instance, has *no* sound gate-local equivalences
+and only deduplicates its site list).
 """
 
 from __future__ import annotations
@@ -22,7 +28,8 @@ from typing import Dict, Iterable, List, Tuple
 
 from ..circuit.gates import CONTROLLING_VALUE, INVERSION, GateType
 from ..circuit.netlist import Circuit
-from .model import Fault, full_fault_list
+from .model import DEFAULT_FAULT_MODEL, Fault, resolve_fault_model
+from .model import _site_fault_list
 
 
 class _UnionFind:
@@ -65,9 +72,9 @@ def _input_fault(circuit: Circuit, gate_out: str, pin: int, stuck: int) -> Fault
 
 
 def equivalence_classes(circuit: Circuit) -> Dict[Fault, Fault]:
-    """Map every fault in the full universe to its class representative."""
+    """Map every stuck-at fault in the full universe to its representative."""
     uf = _UnionFind()
-    for f in full_fault_list(circuit):
+    for f in _site_fault_list(circuit, DEFAULT_FAULT_MODEL):
         uf.add(f)
 
     for g in circuit.gates.values():
@@ -93,17 +100,28 @@ def equivalence_classes(circuit: Circuit) -> Dict[Fault, Fault]:
     return {f: uf.find(f) for f in list(uf.parent)}
 
 
-def collapse_faults(circuit: Circuit) -> List[Fault]:
-    """Return one representative fault per structural equivalence class.
-
-    The list is sorted, so downstream fault-list processing is reproducible
-    run to run.
-    """
+def _collapse_stuck_at(circuit: Circuit) -> List[Fault]:
+    """The stuck-at collapse (union-find over the local rules)."""
     mapping = equivalence_classes(circuit)
     return sorted(set(mapping.values()))
 
 
-def collapse_ratio(circuit: Circuit) -> Tuple[int, int]:
+def collapse_faults(
+    circuit: Circuit, model: str = DEFAULT_FAULT_MODEL
+) -> List[Fault]:
+    """Return one representative fault per equivalence class under ``model``.
+
+    The list is sorted, so downstream fault-list processing is reproducible
+    run to run.
+    """
+    if model == DEFAULT_FAULT_MODEL:
+        return _collapse_stuck_at(circuit)
+    return resolve_fault_model(model).collapse(circuit)
+
+
+def collapse_ratio(
+    circuit: Circuit, model: str = DEFAULT_FAULT_MODEL
+) -> Tuple[int, int]:
     """Return ``(full_universe_size, collapsed_size)`` for reporting."""
-    full = full_fault_list(circuit)
-    return len(full), len(collapse_faults(circuit))
+    fm = resolve_fault_model(model)
+    return len(fm.full_faults(circuit)), len(fm.collapse(circuit))

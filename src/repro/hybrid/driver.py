@@ -40,7 +40,7 @@ from ..atpg.podem import Limits
 from ..atpg.scoap import Testability
 from ..circuit.netlist import Circuit
 from ..clock import monotonic
-from ..faults.model import Fault
+from ..faults.model import DEFAULT_FAULT_MODEL, Fault
 from ..ga.justification import GAJustifyParams, GAStateJustifier
 from ..knowledge import KnowledgeError, StateKnowledge
 from ..policy.features import fault_features
@@ -124,6 +124,10 @@ class HybridTestGenerator:
             targets everything remaining, so deferral can only move
             work later, never drop it.  ``None`` (default) preserves
             today's static behaviour exactly.
+        fault_model: registered fault-model name the run targets
+            (``"stuck_at"`` default, ``"transition"``).  Defines the
+            default fault universe, the engines' detection semantics,
+            and the knowledge environment fingerprint.
     """
 
     def __init__(
@@ -144,6 +148,7 @@ class HybridTestGenerator:
         knowledge: "bool | StateKnowledge" = True,
         testability: Optional[Testability] = None,
         policy: "FaultPolicy | PolicyPlan | None" = None,
+        fault_model: str = DEFAULT_FAULT_MODEL,
     ):
         self.circuit = circuit
         self.seed = seed
@@ -166,6 +171,7 @@ class HybridTestGenerator:
             telemetry=telemetry,
             clock=self.clock,
             seed=seed,
+            fault_model=fault_model,
         )
         self.cc = self.ctx.cc
         self.telemetry = self.ctx.telemetry
@@ -308,6 +314,7 @@ class HybridTestGenerator:
             total_faults=len(self.all_faults),
             seed=self.seed,
             backend=self.backend,
+            fault_model=self.ctx.fault_model,
             jobs=self.jobs,
             width=self.width,
         )

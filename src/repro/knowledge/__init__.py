@@ -27,6 +27,7 @@ from .store import (
     KnowledgeError,
     StateKnowledge,
     constraints_fingerprint,
+    model_fingerprint,
     state_key,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "KnowledgeError",
     "StateKnowledge",
     "constraints_fingerprint",
+    "model_fingerprint",
     "state_key",
     "load_knowledge",
     "load_store_for",

@@ -71,6 +71,19 @@ def constraints_fingerprint(constraints: Any) -> str:
     return f"fixed[{fixed}]hold[{hold}]"
 
 
+def model_fingerprint(base: str, fault_model: str) -> str:
+    """Fold the fault model into a constraint-environment fingerprint.
+
+    Justified-state facts mined under one fault model must not seed runs
+    targeting another (the environments differ even when constraints
+    agree).  Stuck-at — the model every existing sidecar was mined
+    under — keeps the bare historical tag, so those sidecars stay valid.
+    """
+    if fault_model == "stuck_at":
+        return base
+    return f"{base}|model[{fault_model}]"
+
+
 class StateKnowledge:
     """Per-circuit store of proven state-justification facts.
 

@@ -18,7 +18,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from ..faults.model import Fault
+from ..faults.model import Fault, parse_fault
 from ..telemetry.report import FaultRecord, RunReport
 from .features import FEATURE_NAMES, fault_features, feature_vector
 
@@ -75,20 +75,6 @@ class Dataset:
             f"({self.skipped} skipped) over "
             f"{', '.join(self.circuits()) or 'no circuits'}; {statuses}"
         )
-
-
-def parse_fault(name: str) -> Fault:
-    """Invert ``str(Fault)``: ``"NET s-a-V"`` / ``"NET->GATE.PIN s-a-V"``."""
-    site, sep, stuck = name.rpartition(" s-a-")
-    if not sep or stuck not in ("0", "1"):
-        raise ValueError(f"unparseable fault name {name!r}")
-    if "->" in site:
-        net, _, rest = site.partition("->")
-        gate, _, pin = rest.rpartition(".")
-        if not gate or not pin.lstrip("-").isdigit():
-            raise ValueError(f"unparseable branch fault {name!r}")
-        return Fault(net=net, stuck=int(stuck), gate=gate, pin=int(pin))
-    return Fault(net=site, stuck=int(stuck))
 
 
 def _split_fault_name(record_fault: str, report_circuit: str) -> Tuple[str, str]:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..atpg.scoap import HARD, Testability
-from ..faults.model import Fault
+from ..faults.model import DEFAULT_FAULT_MODEL, Fault
 from ..simulation.compiled import CompiledCircuit
 
 #: Model input layout. Append-only; absent keys deserialize as 0.0.
@@ -38,6 +38,7 @@ FEATURE_NAMES = (
     "pin",
     "is_pi",
     "is_ff_out",
+    "is_transition",
 )
 
 
@@ -54,11 +55,13 @@ def fault_features(
     cc0 = min(testability.cc0[idx], HARD)
     cc1 = min(testability.cc1[idx], HARD)
     co = min(testability.co[idx], HARD)
-    # exciting stuck-at-v requires driving the site to the opposite value
+    # exciting stuck-at-v requires driving the site to the opposite
+    # value; a transition fault additionally initialises at the stuck
+    # value, but its excitation-cost proxy is the same final drive
     excite = cc1 if fault.stuck == 0 else cc0
     seq_depth = cc.circuit.sequential_depth
     num_levels = max(1, cc.num_levels)
-    return {
+    features = {
         "cc0": float(cc0),
         "cc1": float(cc1),
         "co": float(co),
@@ -75,6 +78,12 @@ def fault_features(
         "is_pi": 1.0 if idx in cc.pi else 0.0,
         "is_ff_out": 1.0 if idx in cc.ff_out else 0.0,
     }
+    # emitted only for non-stuck-at faults: absent keys read 0.0, and
+    # omission keeps stuck-at report payloads byte-identical to those
+    # written before the feature existed
+    if fault.model != DEFAULT_FAULT_MODEL:
+        features["is_transition"] = 1.0
+    return features
 
 
 def feature_vector(features: Dict[str, float]) -> List[float]:

@@ -43,6 +43,8 @@ from .logic_sim import (
     FrameSimulator,
     Injection,
     _apply_stuck,
+    _blend,
+    _combine_transition,
     register_backend,
 )
 
@@ -60,8 +62,11 @@ COMPILE_STATS: Dict[str, float] = {"kernels": 0, "seconds": 0.0}
 #: Name of the per-CompiledCircuit attribute holding the kernel cache.
 _CACHE_ATTR = "_codegen_kernels"
 
-#: One canonical-order injection as it appears in a cache key.
-SignatureEntry = Tuple[int, int, int, int]
+#: One canonical-order injection as it appears in a cache key.  Stuck-at
+#: entries are 4-tuples (byte-identical to the model-less days, so every
+#: existing cache entry stays valid); non-default models append their
+#: name as a fifth element, which can never collide with a stuck-at key.
+SignatureEntry = Tuple[int, ...]
 Signature = Tuple[SignatureEntry, ...]
 
 
@@ -79,21 +84,25 @@ def _canonical(injections: Iterable[Injection]) -> List[Injection]:
             inj.stuck,
             -1 if inj.gate_pos is None else inj.gate_pos,
             -1 if inj.pin is None else inj.pin,
+            inj.model,
         ),
     )
 
 
 def injection_signature(injections: Iterable[Injection]) -> Signature:
     """Hashable shape of a set of injections (sites and polarities, no masks)."""
-    return tuple(
-        (
+    sig: List[SignatureEntry] = []
+    for inj in _canonical(injections):
+        entry: Tuple = (
             inj.net,
             inj.stuck,
             -1 if inj.gate_pos is None else inj.gate_pos,
             -1 if inj.pin is None else inj.pin,
         )
-        for inj in _canonical(injections)
-    )
+        if inj.model != "stuck_at":
+            entry = entry + (inj.model,)
+        sig.append(entry)
+    return tuple(sig)
 
 
 def _force_lines(a: str, b: str, stuck: int, k: int) -> List[str]:
@@ -101,6 +110,44 @@ def _force_lines(a: str, b: str, stuck: int, k: int) -> List[str]:
     if stuck == 1:
         return [f"{a} = {a} | m{k}", f"{b} = {b} & n{k}"]
     return [f"{a} = {a} & n{k}", f"{b} = {b} | m{k}"]
+
+
+def _transition_lines(a: str, b: str, stuck: int, k: int, j: int) -> List[str]:
+    """Statements forcing ``(a, b)`` to the transition combine for slot ``k``.
+
+    The site's raw value was captured into ``tc[2j]``/``tc[2j+1]`` before
+    any force mutated the locals; ``tp{k}``/``tq{k}`` are the previous
+    frame's raw planes passed in by the simulator.  Slow-to-rise is the
+    3-valued AND of raw and previous, slow-to-fall the 3-valued OR.
+    """
+    ra, rb = f"tc[{2 * j}]", f"tc[{2 * j + 1}]"
+    fa, fb = f"f{k}a", f"f{k}b"
+    if stuck == 0:
+        lines = [f"{fa} = {ra} & tp{k}", f"{fb} = {rb} | tq{k}"]
+    else:
+        lines = [f"{fa} = {ra} | tp{k}", f"{fb} = {rb} & tq{k}"]
+    lines.append(f"{a} = ({a} & n{k}) | ({fa} & m{k})")
+    lines.append(f"{b} = ({b} & n{k}) | ({fb} & m{k})")
+    return lines
+
+
+def _kernel_transition_slots(
+    cc: CompiledCircuit, injections: Sequence[Injection]
+) -> List[int]:
+    """Canonical indices of transition injections the *kernel* handles.
+
+    Gate-output stems and gate-input pins are baked into the sweep (the
+    kernel recomputes their raw value every call, captures it, and
+    applies the previous-frame combine).  Transition stems on *sources*
+    are excluded: the stored source value would be the forced one, so the
+    simulator keeps a raw shadow and pre-forces them before the sweep.
+    """
+    return [
+        k
+        for k, inj in enumerate(injections)
+        if inj.model != "stuck_at"
+        and (inj.gate_pos is not None or cc.gate_of[inj.net] is not None)
+    ]
 
 
 def generate_kernel_source(
@@ -115,8 +162,20 @@ def generate_kernel_source(
     corresponds to ``injections[k]``).  ``writeback`` restricts which gate
     outputs are stored back into the value arrays (``None`` stores all);
     sources the kernel forces are always written back.
+
+    Transition injections at gate outputs / gate pins add parameters: a
+    previous-raw pair ``tp{k}``/``tq{k}`` per transition slot and one
+    shared capture buffer ``tc`` the kernel writes each site's current
+    raw value into (the simulator rolls it into the prevs at each clock).
     """
+    tks = _kernel_transition_slots(cc, injections)
+    tslot = {k: j for j, k in enumerate(tks)}
     params = ["v1", "v0", "mask"] + [f"m{k}" for k in range(len(injections))]
+    for k in tks:
+        params.append(f"tp{k}")
+        params.append(f"tq{k}")
+    if tks:
+        params.append("tc")
     body: List[str] = []
 
     stem_by_net: Dict[int, List[int]] = {}
@@ -128,13 +187,35 @@ def generate_kernel_source(
             pin_by_site.setdefault((inj.gate_pos, inj.pin), []).append(k)
         body.append(f"n{k} = ~m{k}")
 
-    # sources: primary inputs and flip-flop outputs
+    def _apply_site(a: str, b: str, ks: List[int], raw_a: str, raw_b: str) -> None:
+        """Capture the site raw, then apply each injection in order."""
+        for k in ks:
+            if injections[k].model != "stuck_at":
+                j = tslot[k]
+                body.append(f"tc[{2 * j}] = {raw_a}")
+                body.append(f"tc[{2 * j + 1}] = {raw_b}")
+        for k in ks:
+            if injections[k].model == "stuck_at":
+                body.extend(_force_lines(a, b, injections[k].stuck, k))
+            else:
+                body.extend(
+                    _transition_lines(a, b, injections[k].stuck, k, tslot[k])
+                )
+
+    # sources: primary inputs and flip-flop outputs.  Transition stems on
+    # sources are *not* forced here — the simulator pre-forces the stored
+    # value from its raw shadow (the array already holds the forced value
+    # when the kernel reads it).
     for idx in range(cc.num_nets):
         if cc.gate_of[idx] is not None:
             continue
         body.append(f"a{idx} = v1[{idx}]")
         body.append(f"b{idx} = v0[{idx}]")
-        ks = stem_by_net.get(idx)
+        ks = [
+            k
+            for k in stem_by_net.get(idx, ())
+            if injections[k].model == "stuck_at"
+        ]
         if ks:
             for k in ks:
                 body.extend(_force_lines(f"a{idx}", f"b{idx}",
@@ -153,8 +234,7 @@ def generate_kernel_source(
                 ta, tb = f"t{pos}_{pin_idx}a", f"t{pos}_{pin_idx}b"
                 body.append(f"{ta} = {a}")
                 body.append(f"{tb} = {b}")
-                for k in ks:
-                    body.extend(_force_lines(ta, tb, injections[k].stuck, k))
+                _apply_site(ta, tb, ks, a, b)
                 a, b = ta, tb
             ops.append((a, b))
 
@@ -203,8 +283,7 @@ def generate_kernel_source(
 
         ks = stem_by_net.get(out)
         if ks:
-            for k in ks:
-                body.extend(_force_lines(oa, ob, injections[k].stuck, k))
+            _apply_site(oa, ob, ks, oa, ob)
         if writeback is None or out in writeback:
             body.append(f"v1[{out}] = {oa}")
             body.append(f"v0[{out}] = {ob}")
@@ -307,27 +386,93 @@ class CodegenFrameSimulator(FrameSimulator):
         self._state_needs_settle = any(
             inj.gate_pos is None and inj.net in ff_out for inj in self._canon
         )
+        # -- transition-model plumbing ---------------------------------
+        x1, x0 = self._x
+        #: canonical slots whose transition combine the kernel computes
+        self._tks = _kernel_transition_slots(self.cc, self._canon)
+        #: capture buffer the kernel writes site raws into (2 per slot)
+        self._tcap: List[int] = [x1, x0] * len(self._tks)
+        #: previous-frame raw planes, flat in tks order (tp0, tq0, ...)
+        self._tprev_flat: List[int] = [x1, x0] * len(self._tks)
+        #: transition stems on sources -> simulator pre-forces from shadow
+        self._tsrc: Dict[int, List[Injection]] = {}
+        self._src_shadow: Dict[int, Tuple[int, int]] = {}
+        self._tsrc_prev: Dict[int, Tuple[int, int]] = {}
+        for inj in self._canon:
+            if inj.model != "stuck_at" and inj.gate_pos is None \
+                    and self.cc.gate_of[inj.net] is None:
+                self._tsrc.setdefault(inj.net, []).append(inj)
+                self._src_shadow[inj.net] = (x1, x0)
+                self._tsrc_prev[inj.net] = (x1, x0)
+        #: transition D-pin sites, forced at the clock edge
+        self._tff_prev: Dict[int, Tuple[int, int]] = {
+            ff_pos: (x1, x0)
+            for ff_pos, injs in self._ff_pin.items()
+            if any(i.model != "stuck_at" for i in injs)
+        }
 
     def settle(self) -> None:
         """Run the generated full sweep if any source changed."""
-        if self._dirty:
+        if not self._dirty:
+            return
+        if self._has_transition:
+            if self._tsrc:
+                self._assert_tsrc()
+            if self._tks:
+                self._kernel(self.v1, self.v0, self.mask,
+                             *self._kernel_masks, *self._tprev_flat,
+                             self._tcap)
+            else:
+                self._kernel(self.v1, self.v0, self.mask,
+                             *self._kernel_masks)
+        else:
             self._kernel(self.v1, self.v0, self.mask, *self._kernel_masks)
-            self._dirty = False
+        self._dirty = False
+
+    def _assert_tsrc(self) -> None:
+        """Re-force transition source stems from their raw shadows."""
+        v1, v0 = self.v1, self.v0
+        for idx, injs in self._tsrc.items():
+            raw = self._src_shadow[idx]
+            p1, p0 = raw
+            prev = self._tsrc_prev[idx]
+            for inj in injs:
+                forced = _combine_transition(raw, prev, inj.stuck)
+                p1, p0 = _blend((p1, p0), forced, inj.mask)
+            v1[idx] = p1
+            v0[idx] = p0
+
+    def reset(self) -> None:
+        super().reset()
+        if self._has_transition:
+            x1, x0 = self._x
+            self._tcap[:] = [x1, x0] * len(self._tks)
+            self._tprev_flat[:] = [x1, x0] * len(self._tks)
+            for idx in self._tsrc:
+                self._src_shadow[idx] = (x1, x0)
+                self._tsrc_prev[idx] = (x1, x0)
+            for ff_pos in self._tff_prev:
+                self._tff_prev[ff_pos] = (x1, x0)
 
     def apply_inputs(self, vector) -> None:
         """Drive primary inputs with direct array writes (no event setup)."""
         v1, v0 = self.v1, self.v0
         mask = self.mask
+        tsrc = self._tsrc
         if isinstance(vector, dict):
             index = self.cc.index
             for name, (p1, p0) in vector.items():
                 idx = index[name]
                 v1[idx] = p1 & mask
                 v0[idx] = p0 & mask
+                if idx in tsrc:
+                    self._src_shadow[idx] = (v1[idx], v0[idx])
         else:
             for idx, (p1, p0) in zip(self.cc.pi, vector):
                 v1[idx] = p1 & mask
                 v0[idx] = p0 & mask
+                if idx in tsrc:
+                    self._src_shadow[idx] = (v1[idx], v0[idx])
         self._dirty = True
 
     def clock(self) -> None:
@@ -336,7 +481,9 @@ class CodegenFrameSimulator(FrameSimulator):
         The next :meth:`settle` (triggered by the next frame's inputs or by
         any read accessor) runs one sweep covering both the new state and
         the new inputs, halving the sweeps per frame versus the event
-        backend's settle-on-clock.
+        backend's settle-on-clock.  Transition sites advance here: kernel
+        sites roll the capture buffer into the prev planes, source sites
+        roll their shadow, D-pin sites the raw latched value.
         """
         self.settle()  # D values must be stable before the edge
         v1, v0 = self.v1, self.v0
@@ -344,14 +491,33 @@ class CodegenFrameSimulator(FrameSimulator):
         # feed another flip-flop's D pin directly
         new1 = [v1[i] for i in self.cc.ff_in]
         new0 = [v0[i] for i in self.cc.ff_in]
+        ff_raws: Dict[int, Tuple[int, int]] = {}
         for ff_pos, injs in self._ff_pin.items():
             val = new1[ff_pos], new0[ff_pos]
+            raw = val
             for inj in injs:
-                val = _apply_stuck(val, inj.stuck, inj.mask)
+                if inj.model == "stuck_at":
+                    val = _apply_stuck(val, inj.stuck, inj.mask)
+                else:
+                    forced = _combine_transition(
+                        raw, self._tff_prev[ff_pos], inj.stuck
+                    )
+                    val = _blend(val, forced, inj.mask)
+            if ff_pos in self._tff_prev:
+                ff_raws[ff_pos] = raw
             new1[ff_pos], new0[ff_pos] = val
+        if self._has_transition:
+            self._tprev_flat[:] = self._tcap
+            for idx in self._tsrc:
+                self._tsrc_prev[idx] = self._src_shadow[idx]
+            for ff_pos, raw in ff_raws.items():
+                self._tff_prev[ff_pos] = raw
+        tsrc = self._tsrc
         for out_idx, p1, p0 in zip(self.cc.ff_out, new1, new0):
             v1[out_idx] = p1
             v0[out_idx] = p0
+            if out_idx in tsrc:
+                self._src_shadow[out_idx] = (p1, p0)
         self._dirty = True
 
     # -- read accessors settle on demand (clock defers its sweep) --------
@@ -362,7 +528,13 @@ class CodegenFrameSimulator(FrameSimulator):
             # refresh every net once via the full-writeback kernel
             if self._full_kernel is None:
                 self._full_kernel = kernel_for(self.cc, self._canon, None)
-            self._full_kernel(self.v1, self.v0, self.mask, *self._kernel_masks)
+            if self._tks:
+                self._full_kernel(self.v1, self.v0, self.mask,
+                                  *self._kernel_masks, *self._tprev_flat,
+                                  self._tcap)
+            else:
+                self._full_kernel(self.v1, self.v0, self.mask,
+                                  *self._kernel_masks)
         return self.v1[idx], self.v0[idx]
 
     def read_outputs(self) -> "List[Tuple[int, int]]":
@@ -375,18 +547,36 @@ class CodegenFrameSimulator(FrameSimulator):
 
     def get_state(self) -> "List[Tuple[int, int]]":
         # flip-flop outputs are sources the clock writes directly; a sweep
-        # only matters when a stem force sits on one of them
+        # only matters when a stem force sits on one of them.  Transition
+        # stems store the forced value on the net but the latch holds the
+        # raw — report the raw shadow so carried states don't re-apply the
+        # delay (matches the event backend).
         if self._state_needs_settle:
             self.settle()
-        return super().get_state()
+        out: "List[Tuple[int, int]]" = []
+        v1, v0 = self.v1, self.v0
+        tsrc = self._tsrc
+        for i in self.cc.ff_out:
+            val = (v1[i], v0[i])
+            injs = tsrc.get(i)
+            if injs:
+                tmask = 0
+                for inj in injs:
+                    tmask |= inj.mask
+                val = _blend(val, self._src_shadow[i], tmask)
+            out.append(val)
+        return out
 
     def _write_source(self, idx: int, value) -> None:
         # Stem injections on sources are applied (and written back) by the
         # kernel, so the write itself stays raw; any write re-arms the sweep.
+        # Transition source stems shadow the raw for the pre-sweep force.
         p1, p0 = value
         mask = self.mask
         self.v1[idx] = p1 & mask
         self.v0[idx] = p0 & mask
+        if idx in self._tsrc:
+            self._src_shadow[idx] = (self.v1[idx], self.v0[idx])
         self._dirty = True
 
 

@@ -32,18 +32,25 @@ def injection_for(cc: CompiledCircuit, fault: Fault, mask: int) -> Injection:
 
     Branch faults on combinational gates become pin injections; branch
     faults feeding a flip-flop's D pin become flip-flop latch injections
-    (applied when the frame is clocked).
+    (applied when the frame is clocked).  The fault's model rides along
+    so the backend applies the matching activation condition.
     """
     net_idx = cc.index[fault.net]
     if not fault.is_branch:
-        return Injection(net=net_idx, stuck=fault.stuck, mask=mask)
+        return Injection(
+            net=net_idx, stuck=fault.stuck, mask=mask, model=fault.model
+        )
     reader = cc.circuit.gates[fault.gate]
     if reader.gtype is GateType.DFF:
         ff_pos = cc.ff_out.index(cc.index[fault.gate])
-        return Injection(net=net_idx, stuck=fault.stuck, mask=mask, ff_pos=ff_pos)
+        return Injection(
+            net=net_idx, stuck=fault.stuck, mask=mask, ff_pos=ff_pos,
+            model=fault.model,
+        )
     gate_pos = cc.gate_of[cc.index[fault.gate]]
     return Injection(
-        net=net_idx, stuck=fault.stuck, mask=mask, gate_pos=gate_pos, pin=fault.pin
+        net=net_idx, stuck=fault.stuck, mask=mask, gate_pos=gate_pos,
+        pin=fault.pin, model=fault.model,
     )
 
 #: A test vector: scalar PI values (0/1/X) in primary-input declaration order.

@@ -408,7 +408,64 @@ def _stem_rows(stuck: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
 
 
 # force-op kinds produced by _fault_ops (first tuple element)
-_OP_FF, _OP_STEM, _OP_SRC, _OP_OSRC, _OP_PIN, _OP_XSTEM, _OP_XPIN = range(7)
+(
+    _OP_FF,
+    _OP_STEM,
+    _OP_SRC,
+    _OP_OSRC,
+    _OP_PIN,
+    _OP_XSTEM,
+    _OP_XPIN,
+    _OP_TFF,
+    _OP_TSTEM,
+    _OP_TSRC,
+    _OP_TPIN,
+    _OP_TXSTEM,
+    _OP_TXPIN,
+) = range(13)
+
+
+class _TSite:
+    """One transition-fault site bound to a slot mask.
+
+    Holds the site's raw-value history as plane word rows: ``prev*`` is
+    the raw value at the previous clock edge (X before the first frame),
+    ``cur*`` the raw value most recently computed this frame.  The
+    forced value blended under ``mask`` is the 3-valued AND (slow-to-
+    rise) or OR (slow-to-fall) of the two.
+    """
+
+    __slots__ = ("stuck", "mask", "nmask", "prev1", "prev0", "cur1",
+                 "cur0", "loc")
+
+    def __init__(
+        self, stuck: int, mask_w: "np.ndarray", W: int, loc: Any
+    ) -> None:
+        self.stuck = stuck
+        self.mask = mask_w
+        self.nmask = ~mask_w
+        full = np.uint64(_FULL)
+        self.prev1 = np.full(W, full, dtype=np.uint64)
+        self.prev0 = np.full(W, full, dtype=np.uint64)
+        self.cur1 = np.full(W, full, dtype=np.uint64)
+        self.cur0 = np.full(W, full, dtype=np.uint64)
+        self.loc = loc
+
+    def reset(self) -> None:
+        full = np.uint64(_FULL)
+        self.prev1.fill(full)
+        self.prev0.fill(full)
+        self.cur1.fill(full)
+        self.cur0.fill(full)
+
+    def advance(self) -> None:
+        self.prev1[:] = self.cur1
+        self.prev0[:] = self.cur0
+
+    def forced(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        if self.stuck == 0:  # slow-to-rise: 3-valued AND of cur and prev
+            return self.cur1 & self.prev1, self.cur0 | self.prev0
+        return self.cur1 | self.prev1, self.cur0 & self.prev0
 
 
 def _fault_ops(
@@ -419,6 +476,7 @@ def _fault_ops(
     gate_pos: Optional[int],
     pin: Optional[int],
     ff_pos: Optional[int],
+    model: str = "stuck_at",
 ) -> Tuple[Tuple[int, ...], ...]:
     """Mask-independent force routing for one injection site.
 
@@ -428,6 +486,40 @@ def _fault_ops(
     every chunk position the fault ever occupies.
     """
     ops: List[Tuple[int, ...]] = []
+    if model != "stuck_at":
+        if ff_pos is not None:
+            ops.append((_OP_TFF, 4 * ff_pos, stuck))
+        elif gate_pos is None:
+            driver = cc.gate_of[net]
+            if driver is not None:
+                kind, level_i, _r = prog.posmap[driver]
+                if kind == "x":
+                    ops.append((_OP_TXSTEM, driver, stuck))
+                else:
+                    positions = prog.levels[level_i].rnr_pos[net]
+                    ops.append((_OP_TSTEM, level_i, positions, stuck))
+            else:
+                ops.append((_OP_TSRC, int(prog.base[net]), stuck))
+        else:
+            kind, level_i, r = prog.posmap[gate_pos]
+            if kind == "x":
+                ops.append((_OP_TXPIN, gate_pos, pin, stuck))
+            else:
+                lv = prog.levels[level_i]
+                gate = cc.gates[gate_pos]
+                sp, _dp, sq, _dq = _PLANE[gate.code]
+                src_row = int(prog.base[gate.fanin[pin]])
+                ops.append((
+                    _OP_TPIN,
+                    level_i,
+                    pin * 2 * lv.G + r,
+                    sp,
+                    pin * 2 * lv.G + lv.G + r,
+                    sq,
+                    src_row,
+                    stuck,
+                ))
+        return tuple(ops)
     if ff_pos is not None:
         # D-pin fault: forces the value latched at the clock edge
         row = 4 * ff_pos
@@ -491,7 +583,8 @@ def _ops_for_fault(
 
         inj = injection_for(cc, fault, 0)
         ops = _fault_ops(
-            prog, cc, inj.net, inj.stuck, inj.gate_pos, inj.pin, inj.ff_pos
+            prog, cc, inj.net, inj.stuck, inj.gate_pos, inj.pin, inj.ff_pos,
+            inj.model,
         )
         cache[fault] = ops
     return ops
@@ -543,6 +636,14 @@ class _MatrixKernel:
         self.xor_pin: Dict[int, Dict[int, List[Tuple[int, np.ndarray]]]] = {}
         #: gate_pos -> [(stuck, mask_words)] on the parity gate's output
         self.xor_stem: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        # transition sites, grouped by where their blend patch runs
+        self.t_src: List[_TSite] = []
+        self.t_ff: List[_TSite] = []
+        self.t_stem: List[List[_TSite]] = [[] for _ in prog.levels]
+        self.t_pin: List[List[_TSite]] = [[] for _ in prog.levels]
+        self.t_xstem: Dict[int, List[_TSite]] = {}
+        self.t_xpin: Dict[int, Dict[int, List[_TSite]]] = {}
+        self.has_t = False
         for inj in injections:
             self._bind(inj)
 
@@ -551,7 +652,7 @@ class _MatrixKernel:
         """Bind one injection over an arbitrary multi-slot mask."""
         ops = _fault_ops(
             self.prog, self.cc, inj.net, inj.stuck, inj.gate_pos, inj.pin,
-            inj.ff_pos,
+            inj.ff_pos, inj.model,
         )
         mask_w = _mask_words(inj.mask, self.W)
         for op in ops:
@@ -587,16 +688,54 @@ class _MatrixKernel:
                 self._bind_rare(op, mask_w)
 
     def _bind_rare(self, op: Tuple[int, ...], mask_w: "np.ndarray") -> None:
-        """Undriven-net stems and parity-gate forces: list containers."""
+        """Undriven-net stems, parity-gate, and transition containers."""
         kind = op[0]
         if kind == _OP_OSRC:
             self.other_src.append((op[1], op[2], mask_w))
         elif kind == _OP_XSTEM:
             self.xor_stem.setdefault(op[1], []).append((op[2], mask_w))
-        else:
+        elif kind == _OP_XPIN:
             self.xor_pin.setdefault(op[1], {}).setdefault(op[2], []).append(
                 (op[3], mask_w)
             )
+        elif kind == _OP_TSTEM:
+            self.t_stem[op[1]].append(_TSite(op[3], mask_w, self.W, op[2]))
+            self.has_t = True
+        elif kind == _OP_TPIN:
+            self.t_pin[op[1]].append(
+                _TSite(op[7], mask_w, self.W, op[2:7])
+            )
+            self.has_t = True
+        elif kind == _OP_TSRC:
+            self.t_src.append(_TSite(op[2], mask_w, self.W, op[1]))
+            self.has_t = True
+        elif kind == _OP_TFF:
+            self.t_ff.append(_TSite(op[2], mask_w, self.W, op[1]))
+            self.has_t = True
+        elif kind == _OP_TXSTEM:
+            self.t_xstem.setdefault(op[1], []).append(
+                _TSite(op[2], mask_w, self.W, None)
+            )
+            self.has_t = True
+        else:  # _OP_TXPIN
+            self.t_xpin.setdefault(op[1], {}).setdefault(op[2], []).append(
+                _TSite(op[3], mask_w, self.W, None)
+            )
+            self.has_t = True
+
+    def _t_sites(self) -> Any:
+        """Every bound transition site, category order irrelevant."""
+        yield from self.t_src
+        yield from self.t_ff
+        for sites in self.t_stem:
+            yield from sites
+        for sites in self.t_pin:
+            yield from sites
+        for sites in self.t_xstem.values():
+            yield from sites
+        for by_pin in self.t_xpin.values():
+            for sites in by_pin.values():
+                yield from sites
 
     # -- state ----------------------------------------------------------
     def reset_x(self) -> None:
@@ -608,6 +747,9 @@ class _MatrixKernel:
         V[3:n4:4] = np.uint64(0)
         V[self.prog.ones_row] = np.uint64(_FULL)
         V[self.prog.zeros_row] = np.uint64(0)
+        if self.has_t:
+            for site in self._t_sites():
+                site.reset()
 
     def write_net(self, net: int, p1: int, p0: int) -> None:
         """Set one net's packed value (and complements) directly."""
@@ -619,6 +761,27 @@ class _MatrixKernel:
         V[row + N1] = ~w1
         V[row + P0] = w0
         V[row + N0] = ~w0
+        if self.t_src:
+            for site in self.t_src:
+                if site.loc == row:
+                    site.cur1[:] = w1
+                    site.cur0[:] = w0
+
+    def refresh_t_src(self, lo: int, hi: int) -> None:
+        """Re-shadow transition source raws after a direct row write.
+
+        Source rows are forced in place by the sweep, so a transition
+        source site keeps its pre-force raw in ``cur``; callers that
+        overwrite rows ``[lo, hi)`` wholesale (per-frame input loads,
+        the clock's flip-flop latch) refresh the shadows from the fresh
+        raw values.
+        """
+        V = self.V
+        for site in self.t_src:
+            row = site.loc
+            if lo <= row < hi:
+                site.cur1[:] = V[row + P1]
+                site.cur0[:] = V[row + P0]
 
     def read_net(self, net: int, mask: int) -> Tuple[int, int]:
         row = int(self.prog.base[net])
@@ -628,8 +791,14 @@ class _MatrixKernel:
         )
 
     # -- the sweep -------------------------------------------------------
-    def sweep(self) -> None:
-        prog, V = self.prog, self.V
+    def force_sources(self) -> None:
+        """Apply every source-row force (stuck and transition) in place.
+
+        Runs at the top of each sweep; ``run_fault_sim`` calls it once
+        more after the last clock so extracted final states match the
+        event backend's edge-time force application.
+        """
+        V, prog = self.V, self.prog
         if not self.src.empty:
             self.src.apply(V[: prog.src_hi])
         for row, on, mask_w in self.other_src:
@@ -637,6 +806,19 @@ class _MatrixKernel:
                 V[row] |= mask_w
             else:
                 V[row] &= ~mask_w
+        for site in self.t_src:
+            f1, f0 = site.forced()
+            row, m, nm = site.loc, site.mask, site.nmask
+            p1 = (V[row + P1] & nm) | (f1 & m)
+            p0 = (V[row + P0] & nm) | (f0 & m)
+            V[row + P1] = p1
+            V[row + N1] = ~p1
+            V[row + P0] = p0
+            V[row + N0] = ~p0
+
+    def sweep(self) -> None:
+        prog, V = self.prog, self.V
+        self.force_sources()
         for level_i, lv in enumerate(prog.levels):
             if lv.G:
                 buf = self.bufs[level_i]
@@ -644,6 +826,18 @@ class _MatrixKernel:
                 pin_force = self.pin_f[level_i]
                 if not pin_force.empty:
                     pin_force.apply(buf)
+                for site in self.t_pin[level_i]:
+                    # raw pin value = the source net's settled rows (pin
+                    # forces touch only the gather copy, never V)
+                    flat_p, sp, flat_q, sq, src_row = site.loc
+                    site.cur1[:] = V[src_row + P1]
+                    site.cur0[:] = V[src_row + P0]
+                    f1, f0 = site.forced()
+                    n1, n0 = ~f1, ~f0
+                    planes = {P1: f1, N1: n1, P0: f0, N0: n0}
+                    m, nm = site.mask, site.nmask
+                    buf[flat_p] = (buf[flat_p] & nm) | (planes[sp] & m)
+                    buf[flat_q] = (buf[flat_q] & nm) | (planes[sq] & m)
                 stacked = buf.reshape(lv.K, 2 * lv.G, self.W)
                 rnr = self.rnr[level_i]
                 r_half = rnr[: 2 * lv.G]
@@ -657,6 +851,18 @@ class _MatrixKernel:
                 stem = self.stem_f[level_i]
                 if not stem.empty:
                     stem.apply(rnr)
+                for site in self.t_stem[level_i]:
+                    # other sites' forces live in disjoint slot columns,
+                    # so the reduction rows are still raw under this mask
+                    pp1, pn1, pp0, pn0 = site.loc
+                    site.cur1[:] = rnr[pp1]
+                    site.cur0[:] = rnr[pp0]
+                    f1, f0 = site.forced()
+                    m, nm = site.mask, site.nmask
+                    rnr[pp1] = (rnr[pp1] & nm) | (f1 & m)
+                    rnr[pn1] = (rnr[pn1] & nm) | (~f1 & m)
+                    rnr[pp0] = (rnr[pp0] & nm) | (f0 & m)
+                    rnr[pn0] = (rnr[pn0] & nm) | (~f0 & m)
                 V[lv.scat] = rnr
             for xor_i, (pos, out, is_xnor, fanin) in enumerate(lv.xors):
                 self._eval_xor(pos, out, is_xnor, fanin)
@@ -666,20 +872,29 @@ class _MatrixKernel:
     ) -> None:
         prog, V = self.prog, self.V
         pin_forces = self.xor_pin.get(pos, {})
+        t_pins = self.t_xpin.get(pos, {})
 
         def pin_val(k: int) -> Tuple["np.ndarray", "np.ndarray"]:
             row = int(prog.base[fanin[k]])
             a1, a0 = V[row + P1], V[row + P0]
             forces = pin_forces.get(k)
-            if forces:
+            tsites = t_pins.get(k)
+            if forces or tsites:
                 a1, a0 = a1.copy(), a0.copy()
-                for stuck, mask_w in forces:
+                for stuck, mask_w in forces or ():
                     if stuck == 1:
                         a1 |= mask_w
                         a0 &= ~mask_w
                     else:
                         a1 &= ~mask_w
                         a0 |= mask_w
+                for site in tsites or ():
+                    site.cur1[:] = V[row + P1]
+                    site.cur0[:] = V[row + P0]
+                    f1, f0 = site.forced()
+                    m, nm = site.mask, site.nmask
+                    a1 = (a1 & nm) | (f1 & m)
+                    a0 = (a0 & nm) | (f0 & m)
             return a1, a0
 
         if not fanin:
@@ -700,6 +915,13 @@ class _MatrixKernel:
             else:
                 p1 = p1 & ~mask_w
                 p0 = p0 | mask_w
+        for site in self.t_xstem.get(pos, ()):
+            site.cur1[:] = p1
+            site.cur0[:] = p0
+            f1, f0 = site.forced()
+            m, nm = site.mask, site.nmask
+            p1 = (p1 & nm) | (f1 & m)
+            p0 = (p0 & nm) | (f0 & m)
         row = int(prog.base[out])
         V[row + P1] = p1
         V[row + N1] = ~p1
@@ -708,13 +930,33 @@ class _MatrixKernel:
 
     def clock(self) -> None:
         """Latch D values into the flip-flop output rows."""
-        if self.ffbuf is None:
-            return
         prog, V = self.prog, self.V
-        np.take(V, prog.ffin_rows, axis=0, out=self.ffbuf)
-        if not self.ff_f.empty:
-            self.ff_f.apply(self.ffbuf)
-        V[prog.ffo_lo : prog.src_hi] = self.ffbuf
+        if self.ffbuf is not None:
+            np.take(V, prog.ffin_rows, axis=0, out=self.ffbuf)
+            if not self.ff_f.empty:
+                self.ff_f.apply(self.ffbuf)
+            for site in self.t_ff:
+                # forced with the previous edge's prev; cur becomes this
+                # edge's raw D value before the frame-advance below
+                rb = site.loc
+                b = self.ffbuf
+                site.cur1[:] = b[rb + P1]
+                site.cur0[:] = b[rb + P0]
+                f1, f0 = site.forced()
+                m, nm = site.mask, site.nmask
+                b[rb + P1] = (b[rb + P1] & nm) | (f1 & m)
+                b[rb + N1] = (b[rb + N1] & nm) | (~f1 & m)
+                b[rb + P0] = (b[rb + P0] & nm) | (f0 & m)
+                b[rb + N0] = (b[rb + N0] & nm) | (~f0 & m)
+        if self.has_t:
+            # clock edge = frame boundary: every site's prev becomes the
+            # raw value it held this frame
+            for site in self._t_sites():
+                site.advance()
+        if self.ffbuf is not None:
+            V[prog.ffo_lo : prog.src_hi] = self.ffbuf
+            if self.t_src:
+                self.refresh_t_src(prog.ffo_lo, prog.src_hi)
 
 
 # ----------------------------------------------------------------------
@@ -759,11 +1001,30 @@ class NumpyFrameSimulator(FrameSimulator):
 
     def get_state(self) -> List[Tuple[int, int]]:
         # flip-flop outputs are written directly by the clock edge; only a
-        # stem force sitting on one requires a sweep to re-assert it
+        # stem force sitting on one requires a sweep to re-assert it.
+        # Transition stems force the stored row but the latch holds the
+        # raw value (kept in the site's cur shadow) — report the raw so
+        # carried states don't re-apply the delay (matches the event
+        # backend).
         if self._state_needs_settle:
             self.settle()
-        read = self._kern.read_net
-        return [read(i, self.mask) for i in self.cc.ff_out]
+        kern = self._kern
+        read = kern.read_net
+        if not kern.t_src:
+            return [read(i, self.mask) for i in self.cc.ff_out]
+        by_row: Dict[int, List[_TSite]] = {}
+        for site in kern.t_src:
+            by_row.setdefault(int(site.loc), []).append(site)
+        base = self._prog.base
+        out: List[Tuple[int, int]] = []
+        for i in self.cc.ff_out:
+            p1, p0 = read(i, self.mask)
+            for site in by_row.get(int(base[i]), ()):
+                m = _words_to_int(site.mask) & self.mask
+                p1 = (p1 & ~m) | (_words_to_int(site.cur1) & m)
+                p0 = (p0 & ~m) | (_words_to_int(site.cur0) & m)
+            out.append((p1 & self.mask, p0 & self.mask))
+        return out
 
     def read(self, net: str) -> Tuple[int, int]:
         self.settle()
@@ -892,25 +1153,35 @@ def run_fault_sim(
             block[:, N1] = ~planes[:, 0]
             block[:, P0] = planes[:, 1]
             block[:, N0] = ~planes[:, 1]
+            if kern.t_src:
+                kern.refresh_t_src(prog.ffo_lo, prog.src_hi)
 
         out = np.empty((n_frames, 2 * n_po, W), dtype=np.uint64)
         V = kern.V
+        has_t_src = bool(kern.t_src)
         for f in range(n_frames):
             V[: prog.pi_hi] = inp[f]
+            if has_t_src:
+                kern.refresh_t_src(0, prog.pi_hi)
             kern.sweep()
             np.take(V, prog.po_rows, axis=0, out=out[f])
             kern.clock()
         frames_run += n_frames
-        # stem forces on flip-flop outputs are normally re-asserted at the
-        # start of the next sweep; apply them once more so the extracted
-        # final states match the event backend's clock-time application
-        if not kern.src.empty:
-            kern.src.apply(V[: prog.src_hi])
-        for row, on, mask_w in kern.other_src:
-            if on:
-                V[row] |= mask_w
-            else:
-                V[row] &= ~mask_w
+        # source forces (stem forces on flip-flop outputs, transition
+        # source blends) are normally re-asserted at the start of the
+        # next sweep; apply them once more so the extracted final states
+        # match the event backend's clock-time application
+        kern.force_sources()
+        # ... except transition stems: the latch holds the raw value and
+        # carrying the forced one would re-apply the delay next run, so
+        # restore the raw shadow in the flip-flop block (matches the
+        # frame backends' get_state)
+        for site in kern.t_src:
+            row = site.loc
+            if prog.ffo_lo <= row < prog.src_hi:
+                m, nm = site.mask, site.nmask
+                V[row + P1] = (V[row + P1] & nm) | (site.cur1 & m)
+                V[row + P0] = (V[row + P0] & nm) | (site.cur0 & m)
 
         # -- good outputs (chunk 0 only: every chunk's slot 0 is identical)
         one = np.uint64(1)

@@ -95,6 +95,10 @@ class RunReport:
     schema: str = SCHEMA
     seed: Optional[int] = None
     backend: Optional[str] = None
+    #: fault model the campaign targeted; serialized only when
+    #: non-default, so stuck-at report payloads stay byte-identical to
+    #: documents written before the field existed
+    fault_model: str = "stuck_at"
     jobs: int = 1
     width: int = 64
     detected: int = 0
@@ -111,7 +115,10 @@ class RunReport:
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        data = asdict(self)
+        if self.fault_model == "stuck_at":
+            del data["fault_model"]
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent) + "\n"
@@ -304,6 +311,7 @@ def merge_run_reports(
         total_faults=sum(r.total_faults for r in reports),
         seed=_uniform([r.seed for r in reports]),
         backend=_uniform([r.backend for r in reports]),
+        fault_model=_uniform([r.fault_model for r in reports]) or "stuck_at",
         jobs=max(r.jobs for r in reports),
         width=_uniform([r.width for r in reports]) or reports[0].width,
         detected=sum(r.detected for r in reports),

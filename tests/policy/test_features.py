@@ -52,7 +52,18 @@ class TestFaultFeatures:
     def test_every_feature_name_is_produced(self):
         cc, meas = fixtures()
         fault = collapse_faults(cc.circuit)[0]
-        assert set(fault_features(cc, meas, fault)) == set(FEATURE_NAMES)
+        # is_transition is emitted only for transition faults, so
+        # stuck-at feature payloads stay byte-identical to pre-field docs
+        assert (
+            set(fault_features(cc, meas, fault))
+            == set(FEATURE_NAMES) - {"is_transition"}
+        )
+
+    def test_transition_fault_tagged(self):
+        cc, meas = fixtures()
+        fault = collapse_faults(cc.circuit, "transition")[0]
+        f = fault_features(cc, meas, fault)
+        assert f["is_transition"] == 1.0
 
     def test_branch_fault_records_pin(self):
         cc, meas = fixtures()
@@ -70,7 +81,7 @@ class TestFeatureVector:
         fault = collapse_faults(cc.circuit)[0]
         f = fault_features(cc, meas, fault)
         vec = feature_vector(f)
-        assert vec == [f[name] for name in FEATURE_NAMES]
+        assert vec == [f.get(name, 0.0) for name in FEATURE_NAMES]
 
     def test_missing_keys_read_zero(self):
         vec = feature_vector({"cc0": 5.0})
